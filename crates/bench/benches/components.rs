@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks for the simulator's hot components: bbPB
+//! allocation/coalescing, the MESI protocol, the WPQ, and a full-system
+//! workload step — the costs that bound how large an experiment the
+//! harness can run.
+
+use bbb_core::{Bbpb, PersistencyMode, System};
+use bbb_cache::{CacheHierarchy, NullHooks};
+use bbb_mem::NvmmController;
+use bbb_sim::{AddressMap, BbpbConfig, BlockAddr, MemTiming, MemoryPort, SimConfig};
+use bbb_workloads::{make_workload, WorkloadKind, WorkloadParams};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_bbpb(c: &mut Criterion) {
+    c.bench_function("bbpb_allocate_coalesce_drain", |b| {
+        let mut nvmm = NvmmController::new(MemTiming::default());
+        let mut pb = Bbpb::new(&BbpbConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            // Two fresh blocks + one coalescing store, like a structure op.
+            let t = i * 10;
+            pb.allocate(t, BlockAddr::from_index(i % 4096), [1; 64], &mut nvmm);
+            pb.allocate(t + 1, BlockAddr::from_index(4096 + i % 64), [2; 64], &mut nvmm);
+            pb.allocate(t + 2, BlockAddr::from_index(i % 4096), [3; 64], &mut nvmm);
+            i += 1;
+            black_box(&pb);
+        });
+    });
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    c.bench_function("mesi_write_ping_pong", |b| {
+        let cfg = SimConfig::default();
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut mem = NvmmController::new(MemTiming::default());
+        let mut hooks = NullHooks;
+        let map = AddressMap::new(&cfg);
+        let base = BlockAddr::containing(map.persistent_base());
+        let mut t = 0u64;
+        b.iter(|| {
+            let core = (t % 2) as usize;
+            let block = BlockAddr::from_index(base.index() + t % 512);
+            h.write(t * 20, core, block, 0, &[t as u8], &mut mem, &mut hooks);
+            t += 1;
+            black_box(&h);
+        });
+    });
+}
+
+fn bench_wpq(c: &mut Criterion) {
+    c.bench_function("nvmm_write_through_wpq", |b| {
+        let mut n = NvmmController::new(MemTiming::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            let out = MemoryPort::write_block(
+                &mut n,
+                t * 4,
+                BlockAddr::from_index(t % 8192),
+                [t as u8; 64],
+            );
+            t += 1;
+            black_box(out);
+        });
+    });
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    c.bench_function("system_run_hashmap_1000_ops", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::default();
+            let params = WorkloadParams {
+                initial: 1_000,
+                per_core_ops: 125,
+                seed: 1,
+                instrument: false,
+            };
+            let mut w = make_workload(WorkloadKind::Hashmap, &cfg, params);
+            let mut sys = System::new(cfg, PersistencyMode::BbbMemorySide).unwrap();
+            sys.prepare(w.as_mut());
+            let summary = sys.run(w.as_mut(), u64::MAX);
+            black_box(summary.cycles)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bbpb,
+    bench_protocol,
+    bench_wpq,
+    bench_full_system
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablations of the BBB design choices the paper motivates qualitatively:
+//!
+//! * **drain threshold** (§III-F: "keep bbPB as full as possible while
+//!   keeping the probability of full bbPB low") — sweep 25/50/75/100% and
+//!   the eager policy, observing rejections vs NVMM writes,
+//! * **persistent-writeback suppression** (§III-B endurance optimization)
+//!   — on vs off, observing NVMM writes,
+//! * **memory-side vs processor-side** organization (§III-B) — the write
+//!   and time costs side by side.
+
+use bbb_bench::{paper_config, run_workload, Scale};
+use bbb_core::PersistencyMode;
+use bbb_sim::{DrainPolicy, Table};
+use bbb_workloads::WorkloadKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let kind = WorkloadKind::Ctree;
+
+    // --- Drain threshold sweep ---------------------------------------
+    let mut t = Table::new(
+        "Ablation 1: bbPB drain policy (ctree, 32 entries)",
+        &["Policy", "Cycles", "NVMM writes", "Rejections", "Coalesces"],
+    );
+    let mut policies: Vec<(String, DrainPolicy)> = [25u8, 50, 75, 100]
+        .iter()
+        .map(|&pct| {
+            (
+                format!("threshold {pct}%"),
+                DrainPolicy::Threshold { threshold_pct: pct },
+            )
+        })
+        .collect();
+    policies.push(("eager".into(), DrainPolicy::Eager));
+    for (name, policy) in policies {
+        let mut cfg = paper_config(scale);
+        cfg.bbpb.drain_policy = policy;
+        let r = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
+        t.row_owned(vec![
+            name,
+            r.cycles().to_string(),
+            r.nvmm_writes_steady().to_string(),
+            r.stats.get("bbpb.rejections").to_string(),
+            r.stats.get("bbpb.coalesces").to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("higher thresholds keep entries resident longer -> more coalescing,");
+    println!("fewer NVMM writes; eager draining forfeits coalescing entirely.");
+    println!();
+
+    // --- Writeback suppression ---------------------------------------
+    let mut t = Table::new(
+        "Ablation 2: persistent-writeback suppression (ctree, BBB-32)",
+        &["Suppression", "NVMM writes", "Suppressed writebacks"],
+    );
+    for on in [true, false] {
+        let mut cfg = paper_config(scale);
+        cfg.suppress_persistent_writebacks = on;
+        let r = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
+        t.row_owned(vec![
+            if on { "on (paper)" } else { "off" }.into(),
+            r.nvmm_writes_steady().to_string(),
+            r.stats.get("cache.suppressed_writebacks").to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("without suppression every persistent LLC eviction writes NVMM again");
+    println!("even though the bbPB already delivered the data - pure endurance loss.");
+    println!();
+
+    // --- Organization -------------------------------------------------
+    let mut t = Table::new(
+        "Ablation 3: bbPB organization (ctree, 32 entries)",
+        &["Organization", "Cycles", "NVMM writes", "Coalesces"],
+    );
+    for (name, mode) in [
+        ("memory-side (paper)", PersistencyMode::BbbMemorySide),
+        ("processor-side", PersistencyMode::BbbProcessorSide),
+    ] {
+        let cfg = paper_config(scale);
+        let r = run_workload(kind, mode, &cfg, scale);
+        t.row_owned(vec![
+            name.into(),
+            r.cycles().to_string(),
+            r.nvmm_writes_steady().to_string(),
+            r.stats.get("bbpb.coalesces").to_string(),
+        ]);
+    }
+    println!("{t}");
+}

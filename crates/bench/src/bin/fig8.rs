@@ -1,0 +1,69 @@
+//! Regenerates Fig. 8: sensitivity to the bbPB size (1 … 1024 entries).
+//! Reports the workload geomean of (a) bbPB rejections, (b) execution
+//! time, and (c) bbPB drains to NVMM, each normalized to the 1-entry case.
+
+use bbb_bench::{geomean, paper_config, run_workload, Scale};
+use bbb_core::PersistencyMode;
+use bbb_sim::Table;
+use bbb_workloads::WorkloadKind;
+
+const SIZES: [usize; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+fn main() {
+    let scale = Scale::from_env();
+    let base_cfg = paper_config(scale);
+
+    // metric sums per size, per workload.
+    let mut rejections: Vec<Vec<f64>> = vec![Vec::new(); SIZES.len()];
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); SIZES.len()];
+    let mut drains: Vec<Vec<f64>> = vec![Vec::new(); SIZES.len()];
+
+    for kind in WorkloadKind::ALL {
+        for (i, &entries) in SIZES.iter().enumerate() {
+            let mut cfg = base_cfg.clone();
+            cfg.bbpb.entries = entries;
+            let r = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
+            rejections[i].push(r.stats.get("bbpb.rejections") as f64);
+            times[i].push(r.cycles() as f64);
+            drains[i].push(r.stats.get("bbpb.drains") as f64);
+        }
+    }
+
+    let mut t = Table::new(
+        "Fig. 8: sensitivity to bbPB size (geomean over workloads, normalized to 1 entry)",
+        &[
+            "bbPB entries",
+            "(a) rejections",
+            "(b) execution time",
+            "(c) bbPB drains",
+        ],
+    );
+    // Normalize each workload's series to its own 1-entry value, then take
+    // the geomean across workloads (the paper's methodology).
+    let norm = |series: &[Vec<f64>], i: usize| -> f64 {
+        let ratios: Vec<f64> = series[i]
+            .iter()
+            .zip(&series[0])
+            .map(|(&v, &base)| (v + 1.0) / (base + 1.0)) // +1: rejections hit 0
+            .collect();
+        geomean(&ratios)
+    };
+    for (i, &entries) in SIZES.iter().enumerate() {
+        t.row_owned(vec![
+            entries.to_string(),
+            format!("{:.4}", norm(&rejections, i)),
+            format!("{:.4}", norm(&times, i)),
+            format!("{:.4}", norm(&drains, i)),
+        ]);
+    }
+    println!("{t}");
+    println!("paper: rejections fall to near zero by 16-32 entries; execution time");
+    println!("       stops improving at 32; drains keep shrinking until ~64 as larger");
+    println!("       buffers capture more coalescing. 32 entries is the chosen design");
+    println!("       point (the smallest size within ~1% of eADR).");
+    println!();
+    println!(
+        "scale: initial={} per-core-ops={} (set BBB_SCALE=smoke|default|paper)",
+        scale.initial, scale.per_core_ops
+    );
+}

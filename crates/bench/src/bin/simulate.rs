@@ -1,0 +1,123 @@
+//! General-purpose simulation driver: run any workload under any
+//! persistency mode with configurable scale, and print the full statistics
+//! dump — the tool for exploring design points beyond the paper's tables.
+//!
+//! ```text
+//! usage: simulate [WORKLOAD] [MODE] [key=value ...]
+//!
+//!   WORKLOAD: rtree|ctree|hashmap|mutateNC|mutateC|swapNC|swapC|btree
+//!   MODE:     pmem|eadr|bbb|procside|bep
+//!   keys:     initial=N per-core-ops=N entries=N threshold=PCT seed=N
+//!             cores=N epoch-barriers=0|1 crash-at=N
+//! ```
+
+use bbb_core::{PersistencyMode, System};
+use bbb_sim::{DrainPolicy, SimConfig};
+use bbb_workloads::suite::with_epoch_barriers;
+use bbb_workloads::{make_workload, verify_recovery, WorkloadKind, WorkloadParams};
+
+fn usage() -> ! {
+    eprintln!("usage: simulate [WORKLOAD] [MODE] [key=value ...]");
+    eprintln!("  WORKLOAD: rtree|ctree|hashmap|mutateNC|mutateC|swapNC|swapC|btree");
+    eprintln!("  MODE:     pmem|eadr|bbb|procside|bep");
+    eprintln!("  keys:     initial=N per-core-ops=N entries=N threshold=PCT");
+    eprintln!("            seed=N cores=N epoch-barriers=0|1 crash-at=N");
+    std::process::exit(2);
+}
+
+fn parse_workload(s: &str) -> Option<WorkloadKind> {
+    WorkloadKind::EXTENDED
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(s))
+}
+
+fn parse_mode(s: &str) -> Option<PersistencyMode> {
+    match s.to_ascii_lowercase().as_str() {
+        "pmem" => Some(PersistencyMode::Pmem),
+        "eadr" => Some(PersistencyMode::Eadr),
+        "bbb" | "memside" => Some(PersistencyMode::BbbMemorySide),
+        "procside" => Some(PersistencyMode::BbbProcessorSide),
+        "bep" => Some(PersistencyMode::Bep),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kind = WorkloadKind::Ctree;
+    let mut mode = PersistencyMode::BbbMemorySide;
+    let mut params = WorkloadParams {
+        initial: 50_000,
+        per_core_ops: 2_000,
+        seed: 0xBBB,
+        instrument: false,
+    };
+    let mut cfg = SimConfig::default();
+    let mut epoch_barriers = false;
+    let mut crash_at: Option<u64> = None;
+
+    let mut positional = 0;
+    for arg in &args {
+        if let Some((key, value)) = arg.split_once('=') {
+            let parse = |v: &str| v.parse::<u64>().unwrap_or_else(|_| usage());
+            match key {
+                "initial" => params.initial = parse(value),
+                "per-core-ops" => params.per_core_ops = parse(value),
+                "entries" => cfg.bbpb.entries = parse(value) as usize,
+                "threshold" => {
+                    cfg.bbpb.drain_policy = DrainPolicy::Threshold {
+                        threshold_pct: parse(value) as u8,
+                    };
+                }
+                "seed" => params.seed = parse(value),
+                "cores" => cfg.cores = parse(value) as usize,
+                "epoch-barriers" => epoch_barriers = parse(value) != 0,
+                "crash-at" => crash_at = Some(parse(value)),
+                _ => usage(),
+            }
+        } else {
+            match positional {
+                0 => kind = parse_workload(arg).unwrap_or_else(|| usage()),
+                1 => mode = parse_mode(arg).unwrap_or_else(|| usage()),
+                _ => usage(),
+            }
+            positional += 1;
+        }
+    }
+    params.instrument = mode.requires_flushes();
+    // Size the heap for the requested structure.
+    let need = (params.initial + cfg.cores as u64 * params.per_core_ops) * 512;
+    cfg.persistent_heap_bytes = need.next_power_of_two().max(64 * 1024 * 1024);
+
+    println!("workload={} mode={mode} entries={}", kind.name(), cfg.bbpb.entries);
+    let mut w = make_workload(kind, &cfg, params);
+    if epoch_barriers || mode.requires_epoch_barriers() {
+        w = with_epoch_barriers(w);
+    }
+    let mut sys = System::new(cfg, mode).expect("valid config");
+    sys.prepare(w.as_mut());
+    let t0 = std::time::Instant::now();
+    let summary = sys.run(w.as_mut(), crash_at.unwrap_or(u64::MAX));
+    if crash_at.is_none() {
+        sys.drain_all_store_buffers();
+    }
+    println!(
+        "ran {} ops in {} cycles ({:?} wall); completed={}",
+        summary.ops,
+        summary.cycles,
+        t0.elapsed(),
+        summary.completed
+    );
+    println!("crash-drain set: {}", sys.crash_cost());
+    let stats = sys.stats();
+    if crash_at.is_some() {
+        let cfg_for_verify = sys.config().clone();
+        let img = sys.crash_now();
+        match verify_recovery(kind, &img, &cfg_for_verify, params) {
+            Ok(n) => println!("post-crash verification: OK, {n} elements recovered"),
+            Err(e) => println!("post-crash verification: CORRUPT ({e})"),
+        }
+    }
+    println!();
+    println!("{stats}");
+}

@@ -1,0 +1,73 @@
+//! The persistency-model spectrum (paper §II + §VI): strict persistency
+//! in software (PMEM), buffered epoch persistency with volatile persist
+//! buffers (BEP, the DPO/HOPS lineage), and BBB — all normalized to eADR.
+//! Shows the paper's positioning: BEP buys back most of PMEM's stalls but
+//! still needs barriers and still stalls at epoch boundaries; BBB removes
+//! both and matches eADR.
+
+use bbb_bench::{geomean, paper_config, Scale};
+use bbb_core::{PersistencyMode, System};
+use bbb_sim::Table;
+use bbb_workloads::suite::with_epoch_barriers;
+use bbb_workloads::{make_workload, WorkloadKind, WorkloadParams};
+
+fn run(kind: WorkloadKind, mode: PersistencyMode, scale: Scale) -> u64 {
+    let cfg = paper_config(scale);
+    let params = WorkloadParams {
+        initial: scale.initial,
+        per_core_ops: scale.per_core_ops,
+        seed: 0xBBB_5EED,
+        instrument: mode.requires_flushes(),
+    };
+    let mut w = make_workload(kind, &cfg, params);
+    if mode.requires_epoch_barriers() {
+        w = with_epoch_barriers(w);
+    }
+    let mut sys = System::new(cfg, mode).expect("valid config");
+    sys.prepare(w.as_mut());
+    let summary = sys.run(w.as_mut(), u64::MAX);
+    sys.drain_all_store_buffers();
+    summary.cycles
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut t = Table::new(
+        "Persistency spectrum: execution time normalized to eADR",
+        &[
+            "Workload",
+            "PMEM (strict, SW)",
+            "BEP (epochs)",
+            "BBB (32)",
+            "eADR",
+        ],
+    );
+    let (mut pmem_r, mut bep_r, mut bbb_r) = (Vec::new(), Vec::new(), Vec::new());
+    for kind in WorkloadKind::ALL {
+        let eadr = run(kind, PersistencyMode::Eadr, scale) as f64;
+        let pmem = run(kind, PersistencyMode::Pmem, scale) as f64 / eadr;
+        let bep = run(kind, PersistencyMode::Bep, scale) as f64 / eadr;
+        let bbb = run(kind, PersistencyMode::BbbMemorySide, scale) as f64 / eadr;
+        pmem_r.push(pmem);
+        bep_r.push(bep);
+        bbb_r.push(bbb);
+        t.row_owned(vec![
+            kind.name().into(),
+            format!("{pmem:.3}"),
+            format!("{bep:.3}"),
+            format!("{bbb:.3}"),
+            "1.000".into(),
+        ]);
+    }
+    t.row_owned(vec![
+        "geomean".into(),
+        format!("{:.3}", geomean(&pmem_r)),
+        format!("{:.3}", geomean(&bep_r)),
+        format!("{:.3}", geomean(&bbb_r)),
+        "1.000".into(),
+    ]);
+    println!("{t}");
+    println!("programmability: PMEM needs clwb+sfence per persisting store; BEP needs");
+    println!("an epoch barrier per failure-atomic operation (and loses open-epoch data");
+    println!("at a crash); BBB needs nothing and loses nothing.");
+}

@@ -1,0 +1,44 @@
+//! Quantifies the motivation (paper §I/Table I "strict pers. penalty"):
+//! strict persistency implemented in software on an ADR machine — a
+//! `clwb`+`sfence` after every persisting store — versus BBB providing the
+//! same guarantee in hardware with no ordering instructions at all.
+
+use bbb_bench::{geomean, paper_config, run_workload, Scale};
+use bbb_core::PersistencyMode;
+use bbb_sim::Table;
+use bbb_workloads::WorkloadKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = paper_config(scale);
+
+    let mut t = Table::new(
+        "Strict persistency cost: PMEM (ADR + clwb/sfence per store) vs BBB, normalized to eADR",
+        &["Workload", "PMEM (software strict)", "BBB (32)", "eADR"],
+    );
+    let mut pmem_ratios = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let eadr = run_workload(kind, PersistencyMode::Eadr, &cfg, scale);
+        let bbb = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
+        let pmem = run_workload(kind, PersistencyMode::Pmem, &cfg, scale);
+        let base = eadr.cycles() as f64;
+        let p = pmem.cycles() as f64 / base;
+        pmem_ratios.push(p);
+        t.row_owned(vec![
+            kind.name().into(),
+            format!("{p:.2}"),
+            format!("{:.3}", bbb.cycles() as f64 / base),
+            "1.000".into(),
+        ]);
+    }
+    t.row_owned(vec![
+        "geomean".into(),
+        format!("{:.2}", geomean(&pmem_ratios)),
+        "-".into(),
+        "1.000".into(),
+    ]);
+    println!("{t}");
+    println!("Every PMEM store to the persistent heap pays a flush plus a fence that");
+    println!("waits out the NVMM WPQ acceptance; BBB provides the identical strict-");
+    println!("persistency guarantee at (near-)eADR speed with zero added instructions.");
+}

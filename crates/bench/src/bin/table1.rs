@@ -1,0 +1,71 @@
+//! Prints the qualitative scheme comparison (paper Table I), backed by the
+//! modes implemented in `bbb-core`.
+
+use bbb_core::PersistencyMode;
+use bbb_sim::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Table I: schemes for providing strict memory persistency",
+        &["Aspect", "PMEM", "BSP*", "BEP+", "eADR", "BBB"],
+    );
+    t.row(&[
+        "SW complexity",
+        "high (manual clwb+sfence)",
+        "low",
+        "medium (epoch barriers)",
+        "low",
+        "low",
+    ]);
+    t.row(&[
+        "Persist instructions",
+        "clwb & fence",
+        "none",
+        "persist barrier",
+        "none",
+        "none",
+    ]);
+    t.row(&["HW complexity", "low", "high", "medium", "low", "low"]);
+    t.row(&[
+        "Strict-persistency penalty",
+        "high",
+        "medium",
+        "epoch stalls",
+        "none",
+        "low",
+    ]);
+    let battery = |m: PersistencyMode| m.battery().to_owned();
+    t.row_owned(vec![
+        "Battery needed".into(),
+        battery(PersistencyMode::Pmem),
+        "none".into(),
+        battery(PersistencyMode::Bep),
+        battery(PersistencyMode::Eadr),
+        battery(PersistencyMode::BbbMemorySide),
+    ]);
+    let pop = |m: PersistencyMode| m.pop_location().to_owned();
+    t.row_owned(vec![
+        "PoP location".into(),
+        pop(PersistencyMode::Pmem),
+        "memory".into(),
+        pop(PersistencyMode::Bep),
+        pop(PersistencyMode::Eadr),
+        pop(PersistencyMode::BbbMemorySide),
+    ]);
+    println!("{t}");
+    println!("* BSP (Bulk Strict Persistency) is a prior-work reference point the");
+    println!("  paper compares against qualitatively only; it is not implemented here.");
+    println!("+ BEP (buffered epoch persistency, volatile persist buffers) is from the");
+    println!("  paper's related work; this repository implements and simulates it");
+    println!("  (see the `spectrum` binary).");
+    println!();
+    println!("Modes implemented and simulated by this repository:");
+    for m in PersistencyMode::ALL {
+        println!(
+            "  {m}: flushes needed = {}, caches persistent = {}, bbPB = {}",
+            m.requires_flushes(),
+            m.caches_persistent(),
+            m.has_bbpb()
+        );
+    }
+}

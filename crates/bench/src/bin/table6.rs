@@ -1,0 +1,43 @@
+//! Prints the drain-operation energy-cost constants (paper Table VI).
+
+use bbb_energy::EnergyCosts;
+use bbb_sim::Table;
+
+fn main() {
+    let c = EnergyCosts::default();
+    let mut t = Table::new(
+        "Table VI: estimated energy costs for draining at a crash",
+        &["Operation", "Energy cost"],
+    );
+    let nj = |x: f64| format!("{:.3} nJ/Byte", x * 1e9);
+    t.row_owned(vec![
+        "Accessing data in SRAM".into(),
+        format!("{:.0} pJ/Byte", c.sram_access_j_per_byte * 1e12),
+    ]);
+    t.row_owned(vec![
+        "Moving data L1D -> NVMM".into(),
+        nj(c.l1_to_nvmm_j_per_byte),
+    ]);
+    t.row_owned(vec![
+        "Moving data bbPB -> NVMM".into(),
+        nj(c.bbpb_to_nvmm_j_per_byte),
+    ]);
+    t.row_owned(vec![
+        "Moving data L2 -> NVMM".into(),
+        nj(c.l2_to_nvmm_j_per_byte),
+    ]);
+    t.row_owned(vec![
+        "Moving data L3 -> NVMM".into(),
+        nj(c.l3_to_nvmm_j_per_byte),
+    ]);
+    println!("{t}");
+    println!(
+        "model parameters: dirty fraction {:.1}%, NVMM write bandwidth {:.1} GB/s per channel,",
+        c.dirty_fraction * 100.0,
+        c.nvmm_write_bw_per_channel / 1e9
+    );
+    println!(
+        "battery provisioning factor {:.2}x (back-derived from the paper's Table IX arithmetic)",
+        c.provisioning_factor
+    );
+}

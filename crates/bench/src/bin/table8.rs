@@ -1,0 +1,27 @@
+//! Regenerates Table VIII: estimated draining time for BBB vs eADR
+//! (dirty blocks only).
+
+use bbb_energy::{DrainModel, EnergyCosts, Platform};
+use bbb_sim::table::{ratio, si_time};
+use bbb_sim::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Table VIII: estimated draining time, eADR vs BBB (dirty blocks only)",
+        &["System", "eADR", "BBB (32-entry bbPB)", "eADR/BBB"],
+    );
+    for p in [Platform::mobile(), Platform::server()] {
+        let name = p.name;
+        let model = DrainModel::new(p, EnergyCosts::default());
+        let eadr = model.eadr_drain_time_s(true);
+        let bbb = model.bbb_drain_time_s(32);
+        t.row_owned(vec![
+            name.into(),
+            si_time(eadr),
+            si_time(bbb),
+            ratio(eadr / bbb),
+        ]);
+    }
+    println!("{t}");
+    println!("paper: mobile 0.8 ms vs 2.6 µs (307x); server 1.8 ms vs 2.4 µs (750x)");
+}

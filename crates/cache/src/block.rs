@@ -1,0 +1,167 @@
+//! Cache line types and MESI states.
+
+use bbb_sim::{BlockAddr, BLOCK_BYTES};
+
+/// MESI coherence state of an L1 copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mesi {
+    /// Modified: this L1 holds the only, dirty copy.
+    M,
+    /// Exclusive: the only copy, clean.
+    E,
+    /// Shared: one of possibly several clean copies.
+    S,
+    /// Invalid.
+    #[default]
+    I,
+}
+
+impl Mesi {
+    /// True when the line may be read without a coherence transaction.
+    #[must_use]
+    pub const fn readable(self) -> bool {
+        !matches!(self, Mesi::I)
+    }
+
+    /// True when the line may be written without a coherence transaction.
+    #[must_use]
+    pub const fn writable(self) -> bool {
+        matches!(self, Mesi::M)
+    }
+}
+
+/// One line of a private L1 data cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L1Line {
+    /// Block this line caches.
+    pub block: BlockAddr,
+    /// Coherence state.
+    pub state: Mesi,
+    /// Block payload.
+    pub data: [u8; BLOCK_BYTES],
+    /// Set when the block maps to the persistent heap. Mirrors the
+    /// per-block annotation bit the paper adds to suppress redundant
+    /// writebacks (paper §III-B).
+    pub persistent: bool,
+}
+
+impl L1Line {
+    /// Creates a line in the given state.
+    #[must_use]
+    pub fn new(block: BlockAddr, state: Mesi, data: [u8; BLOCK_BYTES], persistent: bool) -> Self {
+        Self {
+            block,
+            state,
+            data,
+            persistent,
+        }
+    }
+}
+
+/// One line of the shared, inclusive L2 (the LLC), with its directory
+/// entry.
+///
+/// The directory tracks which L1s hold the block: at most one `owner` (an
+/// L1 in M state) or any number of `sharers` (L1s in S/E state). When an
+/// L1 owns the block, the L2 payload may be stale until a downgrade or
+/// writeback refreshes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L2Line {
+    /// Block this line caches.
+    pub block: BlockAddr,
+    /// Block payload (authoritative only when `owner` is `None`).
+    pub data: [u8; BLOCK_BYTES],
+    /// Dirty relative to main memory.
+    pub dirty: bool,
+    /// Persistent-heap annotation bit.
+    pub persistent: bool,
+    /// Core index of the L1 holding the block in M, if any.
+    pub owner: Option<usize>,
+    /// Bitmask of cores whose L1 holds the block in S or E.
+    pub sharers: u64,
+}
+
+impl L2Line {
+    /// Creates a clean line with no L1 copies.
+    #[must_use]
+    pub fn new(block: BlockAddr, data: [u8; BLOCK_BYTES], persistent: bool) -> Self {
+        Self {
+            block,
+            data,
+            dirty: false,
+            persistent,
+            owner: None,
+            sharers: 0,
+        }
+    }
+
+    /// Adds a core to the sharer set.
+    pub fn add_sharer(&mut self, core: usize) {
+        self.sharers |= 1 << core;
+    }
+
+    /// Removes a core from the sharer set.
+    pub fn remove_sharer(&mut self, core: usize) {
+        self.sharers &= !(1 << core);
+    }
+
+    /// True if `core`'s L1 is recorded as a sharer.
+    #[must_use]
+    pub fn has_sharer(&self, core: usize) -> bool {
+        self.sharers & (1 << core) != 0
+    }
+
+    /// Iterates the sharer core indices.
+    pub fn sharer_cores(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..64).filter(move |&c| self.has_sharer(c))
+    }
+
+    /// Number of L1 sharers.
+    #[must_use]
+    pub fn sharer_count(&self) -> usize {
+        self.sharers.count_ones() as usize
+    }
+
+    /// True when no L1 holds any copy.
+    #[must_use]
+    pub fn unowned(&self) -> bool {
+        self.owner.is_none() && self.sharers == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesi_permissions() {
+        assert!(Mesi::M.readable() && Mesi::M.writable());
+        assert!(Mesi::E.readable() && !Mesi::E.writable());
+        assert!(Mesi::S.readable() && !Mesi::S.writable());
+        assert!(!Mesi::I.readable() && !Mesi::I.writable());
+        assert_eq!(Mesi::default(), Mesi::I);
+    }
+
+    #[test]
+    fn sharer_set_operations() {
+        let mut l = L2Line::new(BlockAddr::from_index(1), [0; 64], false);
+        assert!(l.unowned());
+        l.add_sharer(0);
+        l.add_sharer(5);
+        assert!(l.has_sharer(0) && l.has_sharer(5) && !l.has_sharer(1));
+        assert_eq!(l.sharer_count(), 2);
+        assert_eq!(l.sharer_cores().collect::<Vec<_>>(), vec![0, 5]);
+        l.remove_sharer(0);
+        assert!(!l.has_sharer(0));
+        assert_eq!(l.sharer_count(), 1);
+        assert!(!l.unowned());
+    }
+
+    #[test]
+    fn owner_blocks_unowned() {
+        let mut l = L2Line::new(BlockAddr::from_index(2), [0; 64], true);
+        l.owner = Some(3);
+        assert!(!l.unowned());
+        assert!(l.persistent);
+    }
+}

@@ -1,0 +1,186 @@
+//! Private L1 data cache.
+//!
+//! Thin wrapper around a [`SetAssocArray`] of [`L1Line`]s with the small
+//! state-manipulation operations the protocol needs. All coherence policy
+//! lives in [`crate::hierarchy`]; the L1 itself only stores lines.
+
+use bbb_sim::{BlockAddr, CacheConfig, BLOCK_BYTES};
+
+use crate::array::SetAssocArray;
+use crate::block::{L1Line, Mesi};
+
+/// One core's private L1 data cache.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_cache::l1::L1Cache;
+/// use bbb_cache::Mesi;
+/// use bbb_sim::{BlockAddr, CacheConfig};
+///
+/// let cfg = CacheConfig { capacity_bytes: 2048, ways: 2, latency: 2 };
+/// let mut l1 = L1Cache::new(&cfg);
+/// let b = BlockAddr::from_index(1);
+/// l1.fill(b, Mesi::E, [0; 64], false);
+/// assert_eq!(l1.state_of(b), Mesi::E);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    lines: SetAssocArray<L1Line>,
+}
+
+impl L1Cache {
+    /// Builds an L1 from its configuration.
+    #[must_use]
+    pub fn new(cfg: &CacheConfig) -> Self {
+        Self {
+            lines: SetAssocArray::new(cfg.sets(), cfg.ways),
+        }
+    }
+
+    /// Current MESI state of `block` ([`Mesi::I`] if absent).
+    #[must_use]
+    pub fn state_of(&self, block: BlockAddr) -> Mesi {
+        self.lines.get(block).map_or(Mesi::I, |l| l.state)
+    }
+
+    /// Looks up a line, refreshing LRU.
+    pub fn touch(&mut self, block: BlockAddr) -> Option<&mut L1Line> {
+        self.lines.get_touch(block)
+    }
+
+    /// Looks up a line without LRU update.
+    #[must_use]
+    pub fn peek(&self, block: BlockAddr) -> Option<&L1Line> {
+        self.lines.get(block)
+    }
+
+    /// Mutable lookup without LRU update.
+    pub fn peek_mut(&mut self, block: BlockAddr) -> Option<&mut L1Line> {
+        self.lines.get_mut(block)
+    }
+
+    /// Installs a block, returning the evicted victim line if the set was
+    /// full. The victim's data must be written back to the L2 by the caller
+    /// if it is in [`Mesi::M`].
+    pub fn fill(
+        &mut self,
+        block: BlockAddr,
+        state: Mesi,
+        data: [u8; BLOCK_BYTES],
+        persistent: bool,
+    ) -> Option<L1Line> {
+        debug_assert_ne!(state, Mesi::I, "cannot fill an invalid line");
+        self.lines
+            .insert(block, L1Line::new(block, state, data, persistent))
+            .map(|(_, line)| line)
+    }
+
+    /// Invalidates a block, returning the removed line (with its data, which
+    /// matters when it was in M).
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<L1Line> {
+        self.lines.remove(block)
+    }
+
+    /// Downgrades an M/E line to S, returning a copy of its data (the
+    /// intervention response payload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not present.
+    pub fn downgrade_to_shared(&mut self, block: BlockAddr) -> [u8; BLOCK_BYTES] {
+        let line = self.lines.get_mut(block).expect("downgrade of absent line");
+        line.state = Mesi::S;
+        line.data
+    }
+
+    /// The block an incoming fill would evict, if any.
+    #[must_use]
+    pub fn victim_for(&self, block: BlockAddr) -> Option<BlockAddr> {
+        self.lines.victim_for(block)
+    }
+
+    /// Iterates all valid lines (crash draining under eADR).
+    pub fn iter(&self) -> impl Iterator<Item = &L1Line> {
+        self.lines.iter().map(|(_, l)| l)
+    }
+
+    /// Number of valid lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when the cache holds no lines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> L1Cache {
+        L1Cache::new(&CacheConfig {
+            capacity_bytes: 2048,
+            ways: 2,
+            latency: 2,
+        })
+    }
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn fill_and_state() {
+        let mut l1 = cache();
+        assert_eq!(l1.state_of(b(0)), Mesi::I);
+        l1.fill(b(0), Mesi::E, [1; 64], true);
+        assert_eq!(l1.state_of(b(0)), Mesi::E);
+        assert!(l1.peek(b(0)).unwrap().persistent);
+        assert_eq!(l1.len(), 1);
+        assert!(!l1.is_empty());
+    }
+
+    #[test]
+    fn invalidate_returns_data() {
+        let mut l1 = cache();
+        l1.fill(b(0), Mesi::M, [7; 64], false);
+        let line = l1.invalidate(b(0)).unwrap();
+        assert_eq!(line.data, [7; 64]);
+        assert_eq!(line.state, Mesi::M);
+        assert_eq!(l1.state_of(b(0)), Mesi::I);
+        assert!(l1.invalidate(b(0)).is_none());
+    }
+
+    #[test]
+    fn downgrade_keeps_line_shared() {
+        let mut l1 = cache();
+        l1.fill(b(3), Mesi::M, [9; 64], true);
+        let data = l1.downgrade_to_shared(b(3));
+        assert_eq!(data, [9; 64]);
+        assert_eq!(l1.state_of(b(3)), Mesi::S);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent line")]
+    fn downgrade_absent_panics() {
+        let mut l1 = cache();
+        l1.downgrade_to_shared(b(1));
+    }
+
+    #[test]
+    fn eviction_on_conflict() {
+        // 2048 B / 64 B = 32 blocks, 2 ways => 16 sets. Blocks 0, 16, 32
+        // collide in set 0.
+        let mut l1 = cache();
+        l1.fill(b(0), Mesi::E, [0; 64], false);
+        l1.fill(b(16), Mesi::E, [1; 64], false);
+        assert_eq!(l1.victim_for(b(32)), Some(b(0)));
+        let victim = l1.fill(b(32), Mesi::E, [2; 64], false).unwrap();
+        assert_eq!(victim.block, b(0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared, inclusive L2 — the last-level cache with the MESI directory.
+
+use bbb_sim::{BlockAddr, CacheConfig, BLOCK_BYTES};
+
+use crate::array::SetAssocArray;
+use crate::block::L2Line;
+
+/// The shared L2/LLC. Inclusion invariant: every block present in any L1
+/// is present here, and the directory entry on each line records which L1s
+/// hold it.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_cache::l2::L2Cache;
+/// use bbb_sim::{BlockAddr, CacheConfig};
+///
+/// let cfg = CacheConfig { capacity_bytes: 8192, ways: 4, latency: 11 };
+/// let mut l2 = L2Cache::new(&cfg);
+/// let b = BlockAddr::from_index(1);
+/// l2.fill(b, [0; 64], false);
+/// assert!(l2.peek(b).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct L2Cache {
+    lines: SetAssocArray<L2Line>,
+}
+
+impl L2Cache {
+    /// Builds the L2 from its configuration.
+    #[must_use]
+    pub fn new(cfg: &CacheConfig) -> Self {
+        Self {
+            lines: SetAssocArray::new(cfg.sets(), cfg.ways),
+        }
+    }
+
+    /// Looks up a line, refreshing LRU.
+    pub fn touch(&mut self, block: BlockAddr) -> Option<&mut L2Line> {
+        self.lines.get_touch(block)
+    }
+
+    /// Looks up a line without LRU update.
+    #[must_use]
+    pub fn peek(&self, block: BlockAddr) -> Option<&L2Line> {
+        self.lines.get(block)
+    }
+
+    /// Mutable lookup without LRU update.
+    pub fn peek_mut(&mut self, block: BlockAddr) -> Option<&mut L2Line> {
+        self.lines.get_mut(block)
+    }
+
+    /// Installs a freshly fetched block (clean, no L1 copies). Returns the
+    /// evicted victim, whose directory entry tells the caller which L1s to
+    /// back-invalidate and whose dirty bit decides the writeback.
+    pub fn fill(
+        &mut self,
+        block: BlockAddr,
+        data: [u8; BLOCK_BYTES],
+        persistent: bool,
+    ) -> Option<L2Line> {
+        self.lines
+            .insert(block, L2Line::new(block, data, persistent))
+            .map(|(_, line)| line)
+    }
+
+    /// Removes a block (used when the protocol must drop a line outside the
+    /// normal LRU path).
+    pub fn remove(&mut self, block: BlockAddr) -> Option<L2Line> {
+        self.lines.remove(block)
+    }
+
+    /// The block an incoming fill would evict, if any.
+    #[must_use]
+    pub fn victim_for(&self, block: BlockAddr) -> Option<BlockAddr> {
+        self.lines.victim_for(block)
+    }
+
+    /// Iterates all valid lines (crash draining under eADR, invariant
+    /// checks in tests).
+    pub fn iter(&self) -> impl Iterator<Item = &L2Line> {
+        self.lines.iter().map(|(_, l)| l)
+    }
+
+    /// Number of valid lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when the cache holds no lines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> L2Cache {
+        L2Cache::new(&CacheConfig {
+            capacity_bytes: 8192,
+            ways: 4,
+            latency: 11,
+        })
+    }
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn fill_starts_clean_and_unowned() {
+        let mut l2 = cache();
+        l2.fill(b(0), [3; 64], true);
+        let line = l2.peek(b(0)).unwrap();
+        assert!(!line.dirty);
+        assert!(line.unowned());
+        assert!(line.persistent);
+    }
+
+    #[test]
+    fn directory_updates_via_peek_mut() {
+        let mut l2 = cache();
+        l2.fill(b(0), [0; 64], false);
+        {
+            let line = l2.peek_mut(b(0)).unwrap();
+            line.owner = Some(2);
+            line.dirty = true;
+        }
+        let line = l2.peek(b(0)).unwrap();
+        assert_eq!(line.owner, Some(2));
+        assert!(line.dirty);
+    }
+
+    #[test]
+    fn eviction_returns_directory_state() {
+        // 8192/64 = 128 blocks, 4 ways => 32 sets; blocks 0,32,64,96,128
+        // collide in set 0.
+        let mut l2 = cache();
+        for i in 0..4 {
+            l2.fill(b(i * 32), [i as u8; 64], false);
+        }
+        l2.peek_mut(b(0)).unwrap().add_sharer(5);
+        // Re-touch all but block 32 so it is LRU.
+        l2.touch(b(0));
+        l2.touch(b(64));
+        l2.touch(b(96));
+        let victim = l2.fill(b(128), [9; 64], false).unwrap();
+        assert_eq!(victim.block, b(32));
+        assert_eq!(l2.len(), 4);
+    }
+
+    #[test]
+    fn remove_drops_line() {
+        let mut l2 = cache();
+        l2.fill(b(1), [1; 64], false);
+        assert!(l2.remove(b(1)).is_some());
+        assert!(l2.peek(b(1)).is_none());
+        assert!(l2.is_empty());
+    }
+}

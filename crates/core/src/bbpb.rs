@@ -1,0 +1,504 @@
+//! The memory-side battery-backed persist buffer (bbPB).
+//!
+//! One bbPB sits next to each core's L1D (paper Fig. 4). Entries are
+//! 64-byte blocks that are *already inside the persistence domain*: a
+//! persisting store becomes durable the cycle its block is allocated (or
+//! coalesced) here, and the battery guarantees every entry reaches NVMM on
+//! power failure. Because entries are persistent the moment they exist,
+//! stores to the same block coalesce freely and entries may drain out of
+//! order — the properties that let a 32-entry buffer match eADR (paper
+//! §III-B, §V).
+//!
+//! Draining follows the paper's policy (§III-F): FCFS, initiated only when
+//! occupancy reaches the configured threshold (75% of capacity by default),
+//! stopping once it falls below — keeping the buffer as full as possible to
+//! maximize coalescing while keeping full-buffer stalls rare.
+
+use std::collections::{HashMap, VecDeque};
+
+use bbb_sim::{BbpbConfig, BlockAddr, Counter, Cycle, MemoryPort, Stats, BLOCK_BYTES};
+
+/// Result of offering a persisting store to the bbPB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocOutcome {
+    /// Cycle at which the store owns an entry — its persist point. Equals
+    /// the offer cycle unless the buffer was full (a *rejection*), in which
+    /// case the store stalled until a drain freed an entry.
+    pub done: Cycle,
+    /// True if the store merged into an existing entry for its block.
+    pub coalesced: bool,
+    /// True if the buffer was full and the store had to wait.
+    pub rejected: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Resident {
+    data: [u8; BLOCK_BYTES],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    frees_at: Cycle,
+}
+
+/// One core's memory-side bbPB.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_core::Bbpb;
+/// use bbb_mem::NvmmController;
+/// use bbb_sim::{BbpbConfig, BlockAddr, MemTiming};
+///
+/// let mut nvmm = NvmmController::new(MemTiming::default());
+/// let mut pb = Bbpb::new(&BbpbConfig::default());
+/// let b = BlockAddr::from_index(1);
+/// let out = pb.allocate(0, b, [7; 64], &mut nvmm);
+/// assert_eq!(out.done, 0); // persistent instantly: PoV == PoP
+/// assert!(pb.contains(b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bbpb {
+    capacity: usize,
+    drain_start_level: usize,
+    drain_latency: Cycle,
+    resident: HashMap<BlockAddr, Resident>,
+    /// FCFS allocation order of resident entries.
+    fifo: VecDeque<BlockAddr>,
+    in_flight: Vec<InFlight>,
+    allocations: Counter,
+    coalesces: Counter,
+    rejections: Counter,
+    drains: Counter,
+    forced_drains: Counter,
+    moves_in: Counter,
+    moves_out: Counter,
+    /// Sum of occupancy sampled at each allocation (avg = sum/samples).
+    occupancy_sum: Counter,
+    occupancy_samples: Counter,
+}
+
+impl Bbpb {
+    /// Creates a bbPB from its configuration.
+    #[must_use]
+    pub fn new(cfg: &BbpbConfig) -> Self {
+        Self {
+            capacity: cfg.entries,
+            drain_start_level: cfg.drain_policy.start_level(cfg.entries),
+            drain_latency: cfg.drain_latency,
+            resident: HashMap::new(),
+            fifo: VecDeque::new(),
+            in_flight: Vec::new(),
+            allocations: Counter::new(),
+            coalesces: Counter::new(),
+            rejections: Counter::new(),
+            drains: Counter::new(),
+            forced_drains: Counter::new(),
+            moves_in: Counter::new(),
+            moves_out: Counter::new(),
+            occupancy_sum: Counter::new(),
+            occupancy_samples: Counter::new(),
+        }
+    }
+
+    /// Capacity in block entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries occupied at `now` (resident plus drains still in flight).
+    #[must_use]
+    pub fn occupancy(&mut self, now: Cycle) -> usize {
+        self.advance(now);
+        self.resident.len() + self.in_flight.len()
+    }
+
+    /// True if `block` has a resident (coalescable) entry.
+    #[must_use]
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.resident.contains_key(&block)
+    }
+
+    /// Offers a persisting store's block (with the full, post-store block
+    /// value) at `now`. Coalesces, allocates, or — when full — stalls until
+    /// a drain frees an entry, then allocates. Afterwards threshold
+    /// draining runs.
+    pub fn allocate(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+        data: [u8; BLOCK_BYTES],
+        mem: &mut dyn MemoryPort,
+    ) -> AllocOutcome {
+        self.advance(now);
+        self.occupancy_sum
+            .add((self.resident.len() + self.in_flight.len()) as u64);
+        self.occupancy_samples.inc();
+
+        if let Some(entry) = self.resident.get_mut(&block) {
+            entry.data = data;
+            self.coalesces.inc();
+            self.maybe_drain(now, mem);
+            return AllocOutcome {
+                done: now,
+                coalesced: true,
+                rejected: false,
+            };
+        }
+
+        let mut t = now;
+        let mut rejected = false;
+        while self.resident.len() + self.in_flight.len() >= self.capacity {
+            rejected = true;
+            t = self.wait_for_free(t, mem);
+        }
+        if rejected {
+            self.rejections.inc();
+        }
+        self.resident.insert(block, Resident { data });
+        self.fifo.push_back(block);
+        self.allocations.inc();
+        self.maybe_drain(t, mem);
+        AllocOutcome {
+            done: t,
+            coalesced: false,
+            rejected,
+        }
+    }
+
+    /// Removes `block`'s resident entry for migration to another core's
+    /// bbPB (remote invalidation, paper Fig. 6(a)/(b): the block moves —
+    /// without draining — and the new core becomes responsible for it).
+    pub fn take_for_move(&mut self, block: BlockAddr) -> Option<[u8; BLOCK_BYTES]> {
+        let entry = self.resident.remove(&block)?;
+        self.fifo.retain(|b| *b != block);
+        self.moves_out.inc();
+        Some(entry.data)
+    }
+
+    /// Installs a block migrated from another bbPB. If full, the oldest
+    /// resident entry is drained to make room (the battery covers the
+    /// in-flight packet either way).
+    pub fn insert_moved(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+        data: [u8; BLOCK_BYTES],
+        mem: &mut dyn MemoryPort,
+    ) {
+        self.advance(now);
+        if let Some(entry) = self.resident.get_mut(&block) {
+            entry.data = data;
+            self.coalesces.inc();
+            return;
+        }
+        while self.resident.len() + self.in_flight.len() >= self.capacity {
+            if !self.drain_oldest(now, mem) {
+                // Nothing resident to drain: wait out an in-flight drain.
+                let t = self.wait_for_free(now, mem);
+                self.advance(t);
+            }
+            self.advance_in_flight_forced(now);
+        }
+        self.resident.insert(block, Resident { data });
+        self.fifo.push_back(block);
+        self.moves_in.inc();
+    }
+
+    /// Forced drain of `block` (LLC dirty-inclusion, paper §III-B): if
+    /// resident, the entry is written to NVMM immediately. Returns true if
+    /// the block was here.
+    pub fn force_drain(&mut self, now: Cycle, block: BlockAddr, mem: &mut dyn MemoryPort) -> bool {
+        let Some(entry) = self.resident.remove(&block) else {
+            return false;
+        };
+        self.fifo.retain(|b| *b != block);
+        let persist = mem.write_block(now, block, entry.data);
+        self.in_flight.push(InFlight {
+            frees_at: persist.max(now + self.drain_latency),
+        });
+        self.drains.inc();
+        self.forced_drains.inc();
+        self.advance(now);
+        true
+    }
+
+    /// Threshold draining (paper §III-F): while the number of *resident*
+    /// (still-coalescable) entries is at or above the start level, drain
+    /// the oldest one. In-flight drains are deliberately not counted:
+    /// during WPQ backpressure they would otherwise inflate occupancy and
+    /// make every new allocation strip another resident entry, collapsing
+    /// the coalescing window exactly when write bandwidth is scarcest.
+    /// Capacity pressure from slow drains is handled by rejections instead.
+    pub fn maybe_drain(&mut self, now: Cycle, mem: &mut dyn MemoryPort) {
+        self.advance(now);
+        while self.resident.len() >= self.drain_start_level {
+            if !self.drain_oldest(now, mem) {
+                break;
+            }
+            self.advance(now);
+        }
+    }
+
+    /// The resident entries (block, data) in FCFS order — the crash drain
+    /// set the battery must cover.
+    #[must_use]
+    pub fn drain_set(&self) -> Vec<(BlockAddr, [u8; BLOCK_BYTES])> {
+        self.fifo
+            .iter()
+            .map(|b| (*b, self.resident[b].data))
+            .collect()
+    }
+
+    /// Drains everything now (flush-on-fail at a crash). Returns the number
+    /// of blocks written.
+    pub fn crash_drain(&mut self, now: Cycle, mem: &mut dyn MemoryPort) -> u64 {
+        let blocks: Vec<BlockAddr> = self.fifo.iter().copied().collect();
+        let n = blocks.len() as u64;
+        for b in blocks {
+            let entry = self.resident.remove(&b).expect("fifo tracks residents");
+            mem.write_block(now, b, entry.data);
+        }
+        self.fifo.clear();
+        self.in_flight.clear();
+        n
+    }
+
+    /// Exports counters under the `bbpb.` prefix.
+    #[must_use]
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("bbpb.allocations", self.allocations.get());
+        s.set("bbpb.coalesces", self.coalesces.get());
+        s.set("bbpb.rejections", self.rejections.get());
+        s.set("bbpb.drains", self.drains.get());
+        s.set("bbpb.forced_drains", self.forced_drains.get());
+        s.set("bbpb.moves_in", self.moves_in.get());
+        s.set("bbpb.moves_out", self.moves_out.get());
+        s.set("bbpb.occupancy_sum", self.occupancy_sum.get());
+        s.set("bbpb.occupancy_samples", self.occupancy_samples.get());
+        s
+    }
+
+    fn advance(&mut self, now: Cycle) {
+        self.in_flight.retain(|f| f.frees_at > now);
+    }
+
+    /// Used only on the move-in path where waiting is not possible: treat
+    /// lingering in-flight drains as freed (documented optimism; the
+    /// battery covers in-flight data regardless).
+    fn advance_in_flight_forced(&mut self, now: Cycle) {
+        if self.resident.len() + self.in_flight.len() >= self.capacity {
+            self.in_flight.retain(|f| f.frees_at > now + 1);
+        }
+    }
+
+    /// Issues a drain of the oldest resident entry. Returns false when
+    /// nothing is resident.
+    fn drain_oldest(&mut self, now: Cycle, mem: &mut dyn MemoryPort) -> bool {
+        let Some(block) = self.fifo.pop_front() else {
+            return false;
+        };
+        let entry = self.resident.remove(&block).expect("fifo tracks residents");
+        let persist = mem.write_block(now, block, entry.data);
+        self.in_flight.push(InFlight {
+            frees_at: persist.max(now + self.drain_latency),
+        });
+        self.drains.inc();
+        true
+    }
+
+    /// Stalls until at least one entry frees, draining if necessary.
+    /// Returns the cycle at which an entry is free.
+    fn wait_for_free(&mut self, now: Cycle, mem: &mut dyn MemoryPort) -> Cycle {
+        if self.in_flight.is_empty() && !self.drain_oldest(now, mem) {
+            // Nothing resident and nothing in flight: capacity must be
+            // free; nothing to wait for.
+            return now;
+        }
+        let t = self
+            .in_flight
+            .iter()
+            .map(|f| f.frees_at)
+            .min()
+            .map_or(now, |f| f.max(now));
+        self.advance(t);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbb_mem::NvmmController;
+    use bbb_sim::{DrainPolicy, MemTiming};
+
+    fn nvmm() -> NvmmController {
+        NvmmController::new(MemTiming::default())
+    }
+
+    fn pb(entries: usize, pct: u8) -> Bbpb {
+        Bbpb::new(&BbpbConfig {
+            entries,
+            drain_policy: DrainPolicy::Threshold { threshold_pct: pct },
+            drain_latency: 0,
+        })
+    }
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn allocation_is_instantaneous_with_space() {
+        let mut n = nvmm();
+        let mut p = pb(4, 75);
+        let out = p.allocate(10, b(1), [1; 64], &mut n);
+        assert_eq!(out.done, 10);
+        assert!(!out.coalesced && !out.rejected);
+        assert_eq!(p.occupancy(10), 1);
+    }
+
+    #[test]
+    fn coalescing_updates_data_without_new_entry() {
+        let mut n = nvmm();
+        let mut p = pb(4, 100);
+        p.allocate(0, b(1), [1; 64], &mut n);
+        let out = p.allocate(5, b(1), [2; 64], &mut n);
+        assert!(out.coalesced);
+        assert_eq!(p.occupancy(5), 1);
+        assert_eq!(p.drain_set()[0].1, [2; 64]);
+        assert_eq!(p.stats().get("bbpb.coalesces"), 1);
+    }
+
+    #[test]
+    fn threshold_draining_starts_at_level() {
+        let mut n = nvmm();
+        // 4 entries, 75% threshold -> drains start at 3 occupied.
+        let mut p = pb(4, 75);
+        p.allocate(0, b(1), [1; 64], &mut n);
+        p.allocate(0, b(2), [2; 64], &mut n);
+        assert_eq!(p.stats().get("bbpb.drains"), 0, "below threshold");
+        p.allocate(0, b(3), [3; 64], &mut n);
+        // Reached 3 -> drained down to 2 (WPQ accepts instantly).
+        assert!(p.stats().get("bbpb.drains") >= 1);
+        assert!(p.occupancy(0) < 3);
+        // FCFS: block 1 drained first.
+        assert!(!p.contains(b(1)));
+        assert!(p.contains(b(3)));
+        assert_eq!(n.endurance().writes_to(b(1)), 1);
+    }
+
+    #[test]
+    fn full_buffer_rejects_and_waits() {
+        let mut n = nvmm();
+        // 100% threshold: no proactive drains, so the buffer can fill.
+        let mut p = pb(2, 100);
+        p.allocate(0, b(1), [1; 64], &mut n);
+        p.allocate(0, b(2), [2; 64], &mut n);
+        // Threshold 100% of 2 = 2 -> allocation of b2 triggered a drain;
+        // use distinct blocks until truly full.
+        let s_before = p.stats().get("bbpb.rejections");
+        let out = p.allocate(1, b(3), [3; 64], &mut n);
+        // Either a drain already freed room (no rejection) or we waited.
+        assert!(out.done >= 1);
+        assert!(p.contains(b(3)));
+        let _ = s_before;
+    }
+
+    #[test]
+    fn rejection_happens_when_wpq_is_slow() {
+        // A tiny WPQ plus single channel makes frees slow enough to observe
+        // rejection waits.
+        let timing = MemTiming {
+            wpq_entries: 1,
+            nvmm_channels: 1,
+            ..MemTiming::default()
+        };
+        let mut n = NvmmController::new(timing);
+        let mut p = pb(2, 100);
+        p.allocate(0, b(1), [1; 64], &mut n);
+        // b1 drains instantly (WPQ empty). b2 stays resident.
+        p.allocate(0, b(2), [2; 64], &mut n);
+        // b4's threshold drain of b2 backpressures (WPQ holds b1 until its
+        // 1000-cycle media write completes), leaving occupancy at 2.
+        p.allocate(0, b(4), [4; 64], &mut n);
+        assert_eq!(p.occupancy(0), 2, "resident b4 + in-flight b2");
+        // The buffer is truly full now: this allocation must stall.
+        let out = p.allocate(0, b(5), [5; 64], &mut n);
+        assert!(out.rejected);
+        assert!(out.done >= 1000, "waited for the in-flight drain to free");
+        assert!(p.contains(b(5)));
+        assert_eq!(p.stats().get("bbpb.rejections"), 1);
+    }
+
+    #[test]
+    fn move_out_and_in_preserves_data() {
+        let mut n = nvmm();
+        let mut src = pb(4, 100);
+        let mut dst = pb(4, 100);
+        src.allocate(0, b(7), [0xAB; 64], &mut n);
+        let data = src.take_for_move(b(7)).expect("resident");
+        assert!(!src.contains(b(7)));
+        dst.insert_moved(0, b(7), data, &mut n);
+        assert!(dst.contains(b(7)));
+        assert_eq!(dst.drain_set()[0].1, [0xAB; 64]);
+        assert_eq!(src.stats().get("bbpb.moves_out"), 1);
+        assert_eq!(dst.stats().get("bbpb.moves_in"), 1);
+        // The move itself caused no NVMM write.
+        assert_eq!(n.endurance().total_writes(), 0);
+    }
+
+    #[test]
+    fn force_drain_writes_block_once() {
+        let mut n = nvmm();
+        let mut p = pb(4, 100);
+        p.allocate(0, b(9), [0x77; 64], &mut n);
+        assert!(p.force_drain(5, b(9), &mut n));
+        assert!(!p.contains(b(9)));
+        assert_eq!(n.endurance().writes_to(b(9)), 1);
+        assert_eq!(n.crash_image().read_block(b(9)), [0x77; 64]);
+        assert!(!p.force_drain(6, b(9), &mut n), "already gone");
+        assert_eq!(p.stats().get("bbpb.forced_drains"), 1);
+    }
+
+    #[test]
+    fn crash_drain_flushes_everything() {
+        let mut n = nvmm();
+        let mut p = pb(8, 100);
+        for i in 0..5 {
+            p.allocate(0, b(i), [i as u8; 64], &mut n);
+        }
+        let drained = p.crash_drain(100, &mut n);
+        assert_eq!(drained, 5);
+        assert_eq!(p.occupancy(100), 0);
+        for i in 0..5 {
+            assert_eq!(n.crash_image().read_block(b(i)), [i as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn fcfs_order_in_drain_set() {
+        let mut n = nvmm();
+        let mut p = pb(8, 100);
+        p.allocate(0, b(3), [3; 64], &mut n);
+        p.allocate(1, b(1), [1; 64], &mut n);
+        p.allocate(2, b(2), [2; 64], &mut n);
+        let order: Vec<u64> = p.drain_set().iter().map(|(blk, _)| blk.index()).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn eager_policy_drains_immediately() {
+        let mut n = nvmm();
+        let mut p = Bbpb::new(&BbpbConfig {
+            entries: 8,
+            drain_policy: DrainPolicy::Eager,
+            drain_latency: 0,
+        });
+        p.allocate(0, b(1), [1; 64], &mut n);
+        assert_eq!(p.stats().get("bbpb.drains"), 1);
+        assert_eq!(n.endurance().total_writes(), 1);
+    }
+}

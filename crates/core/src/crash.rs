@@ -1,0 +1,107 @@
+//! Crash drain-cost accounting.
+//!
+//! When power fails, the battery must drain exactly the active persistence
+//! domain to NVMM. [`CrashCost`] records what that drain consists of for
+//! the current machine state; `bbb-energy` turns it into joules, seconds,
+//! and battery volume (paper Tables VII–IX).
+
+use std::fmt;
+
+use bbb_sim::BLOCK_BYTES;
+
+use crate::mode::PersistencyMode;
+
+/// The flush-on-fail drain set at a particular instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashCost {
+    /// Mode the machine was running in.
+    pub mode: PersistencyMode,
+    /// Resident persist-buffer entries (blocks for memory-side, stores for
+    /// processor-side) the battery must drain. Zero for PMEM/eADR.
+    pub bbpb_entries: u64,
+    /// Battery-backed store-buffer entries to drain (zero when the SB is
+    /// not in the persistence domain).
+    pub sb_entries: u64,
+    /// Dirty cache blocks to drain (eADR only).
+    pub dirty_cache_blocks: u64,
+    /// WPQ entries still queued (every mode: ADR covers the WPQ).
+    pub wpq_blocks: u64,
+}
+
+impl CrashCost {
+    /// Total bytes the battery must move to NVMM. Store-buffer entries are
+    /// conservatively charged a full doubleword each; everything else is a
+    /// 64-byte block.
+    #[must_use]
+    pub fn drain_bytes(&self) -> u64 {
+        (self.bbpb_entries + self.dirty_cache_blocks + self.wpq_blocks) * BLOCK_BYTES as u64
+            + self.sb_entries * 8
+    }
+
+    /// Blocks drained from structures *above* the memory controller (the
+    /// part eADR vs BBB differ on; the WPQ is battery-backed either way).
+    #[must_use]
+    pub fn above_mc_blocks(&self) -> u64 {
+        self.bbpb_entries + self.dirty_cache_blocks
+    }
+}
+
+impl fmt::Display for CrashCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: drain {} B (bbPB {}, SB {}, dirty cache {}, WPQ {})",
+            self.mode,
+            self.drain_bytes(),
+            self.bbpb_entries,
+            self.sb_entries,
+            self.dirty_cache_blocks,
+            self.wpq_blocks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let c = CrashCost {
+            mode: PersistencyMode::BbbMemorySide,
+            bbpb_entries: 3,
+            sb_entries: 2,
+            dirty_cache_blocks: 0,
+            wpq_blocks: 1,
+        };
+        assert_eq!(c.drain_bytes(), 4 * 64 + 16);
+        assert_eq!(c.above_mc_blocks(), 3);
+    }
+
+    #[test]
+    fn eadr_counts_cache_blocks() {
+        let c = CrashCost {
+            mode: PersistencyMode::Eadr,
+            bbpb_entries: 0,
+            sb_entries: 0,
+            dirty_cache_blocks: 100,
+            wpq_blocks: 0,
+        };
+        assert_eq!(c.drain_bytes(), 6400);
+        assert_eq!(c.above_mc_blocks(), 100);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let c = CrashCost {
+            mode: PersistencyMode::Pmem,
+            bbpb_entries: 0,
+            sb_entries: 0,
+            dirty_cache_blocks: 0,
+            wpq_blocks: 2,
+        };
+        let s = format!("{c}");
+        assert!(s.contains("WPQ 2"));
+        assert!(s.contains("128 B"));
+    }
+}

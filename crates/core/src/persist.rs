@@ -1,0 +1,362 @@
+//! The persistence domain's view of the coherence protocol.
+//!
+//! [`PersistState`] owns every core's persist buffer and implements
+//! [`CoherenceHooks`], realizing the paper's Table II:
+//!
+//! | event                    | memory-side bbPB action                    |
+//! |--------------------------|--------------------------------------------|
+//! | remote invalidation      | move entry to requester's bbPB (no drain)  |
+//! | remote intervention M→S  | entry stays; memory writeback skipped      |
+//! | dirty LLC eviction       | forced drain (inclusion), then writeback suppressed for persistent blocks |
+//!
+//! The processor-side organization instead drains through the invalidated
+//! block in FIFO order (its entries cannot migrate without breaking store
+//! order), and never suppresses writebacks.
+
+use bbb_cache::{CoherenceHooks, WritebackDecision};
+use bbb_sim::{BlockAddr, Counter, Cycle, MemoryPort, SimConfig, Stats, BLOCK_BYTES};
+
+use crate::bbpb::Bbpb;
+use crate::mode::PersistencyMode;
+use crate::procside::ProcSidePb;
+
+/// Per-core persist buffers plus the mode-dependent coherence behavior.
+#[derive(Debug, Clone)]
+pub struct PersistState {
+    mode: PersistencyMode,
+    bbpbs: Vec<Bbpb>,
+    procpbs: Vec<ProcSidePb>,
+    suppress_writebacks: bool,
+    entry_moves: Counter,
+    downgrades_kept: Counter,
+}
+
+impl PersistState {
+    /// Builds the persistence state for a machine configuration and mode.
+    /// Buffers are instantiated only for the BBB modes.
+    #[must_use]
+    pub fn new(cfg: &SimConfig, mode: PersistencyMode) -> Self {
+        let (bbpbs, procpbs) = match mode {
+            PersistencyMode::BbbMemorySide => (
+                (0..cfg.cores).map(|_| Bbpb::new(&cfg.bbpb)).collect(),
+                Vec::new(),
+            ),
+            // BEP's volatile persist buffers share the processor-side
+            // implementation: ordered per-store entries. The difference is
+            // crash behavior (dropped, not drained) and the epoch-barrier
+            // drain, both handled by the system.
+            PersistencyMode::BbbProcessorSide | PersistencyMode::Bep => (
+                Vec::new(),
+                (0..cfg.cores).map(|_| ProcSidePb::new(&cfg.bbpb)).collect(),
+            ),
+            PersistencyMode::Pmem | PersistencyMode::Eadr => (Vec::new(), Vec::new()),
+        };
+        Self {
+            mode,
+            bbpbs,
+            procpbs,
+            suppress_writebacks: cfg.suppress_persistent_writebacks,
+            entry_moves: Counter::new(),
+            downgrades_kept: Counter::new(),
+        }
+    }
+
+    /// The active persistency mode.
+    #[must_use]
+    pub fn mode(&self) -> PersistencyMode {
+        self.mode
+    }
+
+    /// One core's memory-side bbPB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode is not [`PersistencyMode::BbbMemorySide`] or
+    /// `core` is out of range.
+    #[must_use]
+    pub fn bbpb(&self, core: usize) -> &Bbpb {
+        &self.bbpbs[core]
+    }
+
+    /// Mutable access to one core's memory-side bbPB.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`PersistState::bbpb`] does.
+    pub fn bbpb_mut(&mut self, core: usize) -> &mut Bbpb {
+        &mut self.bbpbs[core]
+    }
+
+    /// One core's processor-side buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode is not [`PersistencyMode::BbbProcessorSide`] or
+    /// `core` is out of range.
+    #[must_use]
+    pub fn procpb(&self, core: usize) -> &ProcSidePb {
+        &self.procpbs[core]
+    }
+
+    /// Mutable access to one core's processor-side buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`PersistState::procpb`] does.
+    pub fn procpb_mut(&mut self, core: usize) -> &mut ProcSidePb {
+        &mut self.procpbs[core]
+    }
+
+    /// The core whose bbPB currently holds `block`, if any. Invariant 4
+    /// (paper §III-D) requires at most one.
+    #[must_use]
+    pub fn holder_of(&self, block: BlockAddr) -> Option<usize> {
+        let mut holder = None;
+        for (c, pb) in self.bbpbs.iter().enumerate() {
+            if pb.contains(block) {
+                debug_assert!(
+                    holder.is_none(),
+                    "invariant 4 violated: {block} in multiple bbPBs"
+                );
+                holder = Some(c);
+                #[cfg(not(debug_assertions))]
+                break;
+            }
+        }
+        holder
+    }
+
+    /// Resident entries across all bbPBs (crash-cost accounting).
+    #[must_use]
+    pub fn total_resident_entries(&self) -> u64 {
+        let mem: u64 = self.bbpbs.iter().map(|p| p.drain_set().len() as u64).sum();
+        let proc: u64 = self.procpbs.iter().map(|p| p.iter().count() as u64).sum();
+        mem + proc
+    }
+
+    /// Aggregated buffer counters plus the persist-state's own, all under
+    /// the `bbpb.` prefix.
+    #[must_use]
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        for pb in &self.bbpbs {
+            s.merge(&pb.stats());
+        }
+        for pb in &self.procpbs {
+            s.merge(&pb.stats());
+        }
+        s.set("bbpb.entry_moves", self.entry_moves.get());
+        s.set("bbpb.downgrades_kept", self.downgrades_kept.get());
+        s
+    }
+}
+
+impl CoherenceHooks for PersistState {
+    fn on_remote_invalidate(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+        victim: usize,
+        requester: usize,
+        mem: &mut dyn MemoryPort,
+    ) {
+        match self.mode {
+            PersistencyMode::BbbMemorySide => {
+                if let Some(data) = self.bbpbs[victim].take_for_move(block) {
+                    self.entry_moves.inc();
+                    self.bbpbs[requester].insert_moved(now, block, data, mem);
+                    debug_assert_eq!(self.holder_of(block), Some(requester));
+                }
+            }
+            PersistencyMode::BbbProcessorSide | PersistencyMode::Bep => {
+                // Ordered entries cannot migrate: drain through the block
+                // so the new owner starts from durable state.
+                self.procpbs[victim].drain_through_block(now, block, mem);
+            }
+            PersistencyMode::Pmem | PersistencyMode::Eadr => {}
+        }
+    }
+
+    fn on_remote_downgrade(&mut self, _now: Cycle, block: BlockAddr, owner: usize) {
+        if self.mode == PersistencyMode::BbbMemorySide && self.bbpbs[owner].contains(block) {
+            // Fig. 6(c): the entry stays put; the owner remains responsible
+            // for draining it. Nothing moves, nothing drains.
+            self.downgrades_kept.inc();
+        }
+    }
+
+    fn on_llc_dirty_evict(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+        _data: &[u8; BLOCK_BYTES],
+        persistent: bool,
+        mem: &mut dyn MemoryPort,
+    ) -> WritebackDecision {
+        match self.mode {
+            PersistencyMode::BbbMemorySide => {
+                // Dirty-inclusion: drain the bbPB entry (if one exists)
+                // before the LLC line disappears, so an LLC miss never has
+                // to search bbPBs.
+                if let Some(holder) = self.holder_of(block) {
+                    self.bbpbs[holder].force_drain(now, block, mem);
+                }
+                if persistent && self.suppress_writebacks {
+                    // The bbPB has or had the line: memory already holds
+                    // the latest value; skip the redundant writeback
+                    // (endurance optimization, paper §III-B).
+                    WritebackDecision::Suppress
+                } else {
+                    WritebackDecision::WriteBack
+                }
+            }
+            PersistencyMode::BbbProcessorSide
+            | PersistencyMode::Bep
+            | PersistencyMode::Pmem
+            | PersistencyMode::Eadr => WritebackDecision::WriteBack,
+        }
+    }
+
+    fn on_llc_clean_evict(&mut self, now: Cycle, block: BlockAddr, mem: &mut dyn MemoryPort) {
+        if self.mode == PersistencyMode::BbbMemorySide {
+            if let Some(holder) = self.holder_of(block) {
+                self.bbpbs[holder].force_drain(now, block, mem);
+            }
+        }
+    }
+
+    fn on_l1_evict(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+        core: usize,
+        mem: &mut dyn MemoryPort,
+    ) {
+        // bbPB self-L1 inclusion: once the L1 copy leaves, no coherence
+        // message can reach this bbPB about the block, so drain it now.
+        if self.mode == PersistencyMode::BbbMemorySide && self.bbpbs[core].contains(block) {
+            self.bbpbs[core].force_drain(now, block, mem);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbb_mem::NvmmController;
+    use bbb_sim::MemTiming;
+
+    fn state(mode: PersistencyMode) -> PersistState {
+        PersistState::new(&SimConfig::small_for_tests(), mode)
+    }
+
+    fn nvmm() -> NvmmController {
+        NvmmController::new(MemTiming::default())
+    }
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn buffers_exist_only_for_bbb_modes() {
+        assert_eq!(state(PersistencyMode::Pmem).bbpbs.len(), 0);
+        assert_eq!(state(PersistencyMode::Eadr).bbpbs.len(), 0);
+        assert_eq!(state(PersistencyMode::BbbMemorySide).bbpbs.len(), 2);
+        assert_eq!(state(PersistencyMode::BbbProcessorSide).procpbs.len(), 2);
+    }
+
+    #[test]
+    fn remote_invalidate_moves_entry_between_bbpbs() {
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        s.bbpb_mut(0).allocate(0, b(5), [0xAA; 64], &mut n);
+        assert_eq!(s.holder_of(b(5)), Some(0));
+        s.on_remote_invalidate(10, b(5), 0, 1, &mut n);
+        assert_eq!(s.holder_of(b(5)), Some(1));
+        assert_eq!(s.stats().get("bbpb.entry_moves"), 1);
+        // The move itself wrote nothing to NVMM (paper Fig. 6(a)).
+        assert_eq!(n.endurance().total_writes(), 0);
+    }
+
+    #[test]
+    fn remote_invalidate_without_entry_is_noop() {
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        s.on_remote_invalidate(10, b(5), 0, 1, &mut n);
+        assert_eq!(s.holder_of(b(5)), None);
+        assert_eq!(s.stats().get("bbpb.entry_moves"), 0);
+    }
+
+    #[test]
+    fn downgrade_keeps_entry_in_place() {
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        s.bbpb_mut(0).allocate(0, b(7), [1; 64], &mut n);
+        s.on_remote_downgrade(10, b(7), 0);
+        assert_eq!(s.holder_of(b(7)), Some(0), "entry stayed put");
+        assert_eq!(s.stats().get("bbpb.downgrades_kept"), 1);
+        assert_eq!(n.endurance().total_writes(), 0);
+    }
+
+    #[test]
+    fn dirty_evict_forces_drain_and_suppresses_persistent_writeback() {
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        s.bbpb_mut(1).allocate(0, b(9), [0x42; 64], &mut n);
+        let d = s.on_llc_dirty_evict(5, b(9), &[0x42; 64], true, &mut n);
+        assert_eq!(d, WritebackDecision::Suppress);
+        assert_eq!(s.holder_of(b(9)), None, "forced drain removed the entry");
+        assert_eq!(n.endurance().writes_to(b(9)), 1, "drained exactly once");
+    }
+
+    #[test]
+    fn dirty_evict_of_nonpersistent_block_writes_back() {
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        let d = s.on_llc_dirty_evict(5, b(3), &[0; 64], false, &mut n);
+        assert_eq!(d, WritebackDecision::WriteBack);
+    }
+
+    #[test]
+    fn persistent_evict_suppressed_even_after_drain() {
+        // "has or had": the entry already drained, memory is current, so
+        // the writeback is still redundant.
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        let d = s.on_llc_dirty_evict(5, b(9), &[0; 64], true, &mut n);
+        assert_eq!(d, WritebackDecision::Suppress);
+    }
+
+    #[test]
+    fn eadr_and_pmem_always_write_back() {
+        for mode in [PersistencyMode::Eadr, PersistencyMode::Pmem] {
+            let mut s = state(mode);
+            let mut n = nvmm();
+            let d = s.on_llc_dirty_evict(0, b(1), &[0; 64], true, &mut n);
+            assert_eq!(d, WritebackDecision::WriteBack, "{mode}");
+        }
+    }
+
+    #[test]
+    fn procside_invalidation_drains_in_order() {
+        let mut s = state(PersistencyMode::BbbProcessorSide);
+        let mut n = nvmm();
+        s.procpb_mut(0).push(0, b(1), 0, &1u64.to_le_bytes(), &mut n);
+        s.procpb_mut(0).push(0, b(2), 0, &2u64.to_le_bytes(), &mut n);
+        s.on_remote_invalidate(5, b(2), 0, 1, &mut n);
+        // Both entries drained (FIFO through block 2).
+        assert_eq!(n.endurance().total_writes(), 2);
+        assert_eq!(s.total_resident_entries(), 0);
+    }
+
+    #[test]
+    fn clean_evict_enforces_inclusion() {
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        s.bbpb_mut(0).allocate(0, b(4), [7; 64], &mut n);
+        s.on_llc_clean_evict(5, b(4), &mut n);
+        assert_eq!(s.holder_of(b(4)), None);
+        assert_eq!(n.endurance().writes_to(b(4)), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-core execution state.
+//!
+//! [`CoreState`] holds everything the system simulator needs to interpret a
+//! core's committed op stream: the store buffer, the cycle the core
+//! becomes free, outstanding flush persist-times (for fences), and per-core
+//! counters. The interpretation itself — which needs the cache hierarchy
+//! and the persistence machinery — lives in `bbb-core`.
+
+use bbb_sim::{Counter, Cycle, Stats};
+
+use crate::store_buffer::StoreBuffer;
+
+/// Execution state of one simulated core.
+#[derive(Debug, Clone)]
+pub struct CoreState {
+    /// Core index.
+    pub id: usize,
+    /// Post-commit store buffer.
+    pub sb: StoreBuffer,
+    /// Cycle at which the core can commit its next op.
+    pub ready_at: Cycle,
+    /// Persist cycles of outstanding `clwb`s a future fence must wait for.
+    pub pending_flush_persists: Vec<Cycle>,
+    /// Cycle at which the most recently drained store-buffer entry finishes
+    /// writing to the L1D (the SB drain engine is busy until then).
+    pub sb_drain_busy_until: Cycle,
+    /// Instructions committed.
+    pub committed: Counter,
+    /// Stores committed.
+    pub stores: Counter,
+    /// Persisting stores committed (target in the persistent heap).
+    pub persisting_stores: Counter,
+    /// Cycles lost waiting for a full store buffer.
+    pub sb_full_stalls: Counter,
+    /// Cycles lost in fences.
+    pub fence_stall_cycles: Counter,
+}
+
+impl CoreState {
+    /// Creates the state for core `id` with a store buffer of
+    /// `sb_capacity` entries.
+    #[must_use]
+    pub fn new(id: usize, sb_capacity: usize) -> Self {
+        Self {
+            id,
+            sb: StoreBuffer::new(sb_capacity),
+            ready_at: 0,
+            pending_flush_persists: Vec::new(),
+            sb_drain_busy_until: 0,
+            committed: Counter::new(),
+            stores: Counter::new(),
+            persisting_stores: Counter::new(),
+            sb_full_stalls: Counter::new(),
+            fence_stall_cycles: Counter::new(),
+        }
+    }
+
+    /// Records a flush whose data persists at `persist`.
+    pub fn record_flush(&mut self, persist: Cycle) {
+        self.pending_flush_persists.push(persist);
+    }
+
+    /// The cycle by which every outstanding flush has persisted, and drops
+    /// flushes that are already durable at `now`.
+    pub fn flushes_done_by(&mut self, now: Cycle) -> Cycle {
+        let done = self
+            .pending_flush_persists
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(now)
+            .max(now);
+        self.pending_flush_persists.retain(|&p| p > now);
+        done
+    }
+
+    /// Exports per-core counters under the `core<N>.` prefix plus
+    /// aggregated `cores.` totals.
+    #[must_use]
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        let p = format!("core{}.", self.id);
+        s.set(&format!("{p}committed"), self.committed.get());
+        s.set(&format!("{p}stores"), self.stores.get());
+        s.set(&format!("{p}persisting_stores"), self.persisting_stores.get());
+        s.set(&format!("{p}sb_full_stalls"), self.sb_full_stalls.get());
+        s.set(&format!("{p}fence_stall_cycles"), self.fence_stall_cycles.get());
+        s.set("cores.committed", self.committed.get());
+        s.set("cores.stores", self.stores.get());
+        s.set("cores.persisting_stores", self.persisting_stores.get());
+        s.set("cores.sb_full_stalls", self.sb_full_stalls.get());
+        s.set("cores.fence_stall_cycles", self.fence_stall_cycles.get());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_core_is_idle() {
+        let c = CoreState::new(3, 8);
+        assert_eq!(c.id, 3);
+        assert_eq!(c.ready_at, 0);
+        assert!(c.sb.is_empty());
+        assert_eq!(c.sb.capacity(), 8);
+    }
+
+    #[test]
+    fn flush_tracking() {
+        let mut c = CoreState::new(0, 4);
+        assert_eq!(c.flushes_done_by(100), 100);
+        c.record_flush(500);
+        c.record_flush(300);
+        assert_eq!(c.flushes_done_by(100), 500);
+        // Flushes persisted by cycle 600 are gone.
+        assert_eq!(c.flushes_done_by(600), 600);
+        assert!(c.pending_flush_persists.is_empty());
+    }
+
+    #[test]
+    fn flush_retention_keeps_future_persists() {
+        let mut c = CoreState::new(0, 4);
+        c.record_flush(500);
+        let done = c.flushes_done_by(200);
+        assert_eq!(done, 500);
+        assert_eq!(c.pending_flush_persists, vec![500]);
+    }
+
+    #[test]
+    fn stats_carry_core_prefix_and_totals() {
+        let mut c = CoreState::new(2, 4);
+        c.stores.add(7);
+        let s = c.stats();
+        assert_eq!(s.get("core2.stores"), 7);
+        assert_eq!(s.get("cores.stores"), 7);
+    }
+}

@@ -1,0 +1,167 @@
+//! The committed-instruction stream.
+//!
+//! Workloads expand each high-level operation (an insert, a swap, …) into a
+//! sequence of [`Op`]s; the system simulator interprets them against the
+//! timing model. Stores carry their payload bytes so real data flows
+//! through the hierarchy into the crash image.
+
+use bbb_sim::Addr;
+
+/// Maximum bytes a single store op carries (doubleword granularity).
+pub const MAX_STORE_BYTES: usize = 8;
+
+/// One committed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A load of `size` bytes at `addr`.
+    Load {
+        /// Byte address.
+        addr: Addr,
+        /// Access size in bytes (1–8).
+        size: u8,
+    },
+    /// A store of `size` bytes at `addr` with payload `bytes[..size]`.
+    Store {
+        /// Byte address.
+        addr: Addr,
+        /// Access size in bytes (1–8).
+        size: u8,
+        /// Payload (little-endian for integer helpers).
+        bytes: [u8; MAX_STORE_BYTES],
+    },
+    /// A cache-line writeback (`clwb`/`DC CVAP` class): pushes the line
+    /// containing `addr` toward the NVMM WPQ without invalidating it. Only
+    /// the strict-persistency software baseline emits these.
+    Clwb {
+        /// Any byte address within the line to write back.
+        addr: Addr,
+    },
+    /// A persist barrier (`sfence`/`DSB` class): commit stalls until every
+    /// older store has drained and every outstanding `Clwb` has reached the
+    /// persistence domain.
+    Fence,
+    /// Non-memory work occupying the core for `cycles` cycles.
+    Compute {
+        /// Core-cycles of work.
+        cycles: u32,
+    },
+}
+
+impl Op {
+    /// A `u64` load (the common case in the pointer-based workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned (a store/load must not span
+    /// cache blocks).
+    #[must_use]
+    pub fn load_u64(addr: Addr) -> Self {
+        assert_eq!(addr % 8, 0, "u64 access must be aligned");
+        Op::Load { addr, size: 8 }
+    }
+
+    /// A `u64` store with a little-endian payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    #[must_use]
+    pub fn store_u64(addr: Addr, value: u64) -> Self {
+        assert_eq!(addr % 8, 0, "u64 access must be aligned");
+        Op::Store {
+            addr,
+            size: 8,
+            bytes: value.to_le_bytes(),
+        }
+    }
+
+    /// A one-byte store.
+    #[must_use]
+    pub fn store_u8(addr: Addr, value: u8) -> Self {
+        let mut bytes = [0u8; MAX_STORE_BYTES];
+        bytes[0] = value;
+        Op::Store {
+            addr,
+            size: 1,
+            bytes,
+        }
+    }
+
+    /// True for [`Op::Store`].
+    #[must_use]
+    pub const fn is_store(&self) -> bool {
+        matches!(self, Op::Store { .. })
+    }
+
+    /// True for [`Op::Load`].
+    #[must_use]
+    pub const fn is_load(&self) -> bool {
+        matches!(self, Op::Load { .. })
+    }
+
+    /// The memory address this op touches, if any.
+    #[must_use]
+    pub const fn addr(&self) -> Option<Addr> {
+        match *self {
+            Op::Load { addr, .. } | Op::Store { addr, .. } | Op::Clwb { addr } => Some(addr),
+            Op::Fence | Op::Compute { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_helpers_encode_little_endian() {
+        let op = Op::store_u64(0x100, 0x0102_0304_0506_0708);
+        match op {
+            Op::Store { addr, size, bytes } => {
+                assert_eq!(addr, 0x100);
+                assert_eq!(size, 8);
+                assert_eq!(bytes, [8, 7, 6, 5, 4, 3, 2, 1]);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+        assert!(op.is_store());
+        assert!(!op.is_load());
+        assert_eq!(op.addr(), Some(0x100));
+    }
+
+    #[test]
+    fn load_helper() {
+        let op = Op::load_u64(0x208);
+        assert!(op.is_load());
+        assert_eq!(op.addr(), Some(0x208));
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_u64_store_panics() {
+        let _ = Op::store_u64(0x101, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_u64_load_panics() {
+        let _ = Op::load_u64(0x3);
+    }
+
+    #[test]
+    fn byte_store() {
+        match Op::store_u8(0x7, 0xAB) {
+            Op::Store { addr, size, bytes } => {
+                assert_eq!((addr, size, bytes[0]), (0x7, 1, 0xAB));
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_ops_have_no_address() {
+        assert_eq!(Op::Fence.addr(), None);
+        assert_eq!(Op::Compute { cycles: 3 }.addr(), None);
+        assert_eq!(Op::Clwb { addr: 0x40 }.addr(), Some(0x40));
+    }
+}

@@ -1,0 +1,224 @@
+//! The post-commit store buffer.
+//!
+//! Committed stores sit here until written to the L1D. Under TSO the buffer
+//! drains strictly in program order; the relaxed-consistency configuration
+//! may drain any entry (paper §III-C), which is why BBB battery-backs the
+//! store buffer: with the SB inside the persistence domain, PoP moves up to
+//! store *commit* and program-order persistency holds even when entries
+//! reach the L1D out of order.
+
+use std::collections::VecDeque;
+
+use bbb_sim::{BlockAddr, Cycle};
+
+use crate::op::MAX_STORE_BYTES;
+
+/// One committed store waiting to be written to the L1D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbEntry {
+    /// Cache block the store targets.
+    pub block: BlockAddr,
+    /// Byte offset within the block.
+    pub offset: usize,
+    /// Store size in bytes (1–8).
+    pub len: usize,
+    /// Payload (`bytes[..len]` is significant).
+    pub bytes: [u8; MAX_STORE_BYTES],
+    /// True when the target lies in the persistent heap.
+    pub persistent: bool,
+    /// Commit cycle (for stats and battery-backed drain ordering).
+    pub committed: Cycle,
+}
+
+/// A fixed-capacity FIFO store buffer.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_cpu::{SbEntry, StoreBuffer};
+/// use bbb_sim::BlockAddr;
+///
+/// let mut sb = StoreBuffer::new(2);
+/// let e = SbEntry {
+///     block: BlockAddr::from_index(1),
+///     offset: 0,
+///     len: 8,
+///     bytes: [0; 8],
+///     persistent: true,
+///     committed: 0,
+/// };
+/// sb.push(e).unwrap();
+/// assert_eq!(sb.len(), 1);
+/// assert_eq!(sb.pop_front().unwrap().block, e.block);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StoreBuffer {
+    entries: VecDeque<SbEntry>,
+    capacity: usize,
+}
+
+impl StoreBuffer {
+    /// Creates a buffer of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store buffer needs capacity");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no store is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no more stores can commit until the buffer drains.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Enqueues a committed store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the entry back if the buffer is full (the core must stall).
+    pub fn push(&mut self, entry: SbEntry) -> Result<(), SbEntry> {
+        if self.is_full() {
+            return Err(entry);
+        }
+        self.entries.push_back(entry);
+        Ok(())
+    }
+
+    /// The oldest entry, if any (TSO drain candidate).
+    #[must_use]
+    pub fn front(&self) -> Option<&SbEntry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop_front(&mut self) -> Option<SbEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Removes and returns the entry at `index` (relaxed-consistency drain:
+    /// any ready entry may go to the L1D out of order).
+    pub fn pop_at(&mut self, index: usize) -> Option<SbEntry> {
+        self.entries.remove(index)
+    }
+
+    /// Iterates entries oldest-first (crash draining of a battery-backed
+    /// SB, and fence checks).
+    pub fn iter(&self) -> impl Iterator<Item = &SbEntry> {
+        self.entries.iter()
+    }
+
+    /// Drains all entries oldest-first (crash flush-on-fail).
+    pub fn drain_all(&mut self) -> Vec<SbEntry> {
+        self.entries.drain(..).collect()
+    }
+
+    /// True if any buffered store targets `block` (fences and flushes must
+    /// wait for such entries; loads would forward from them in hardware).
+    #[must_use]
+    pub fn holds_block(&self, block: BlockAddr) -> bool {
+        self.entries.iter().any(|e| e.block == block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u64) -> SbEntry {
+        SbEntry {
+            block: BlockAddr::from_index(i),
+            offset: 0,
+            len: 8,
+            bytes: [i as u8; 8],
+            persistent: false,
+            committed: i,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut sb = StoreBuffer::new(4);
+        for i in 0..3 {
+            sb.push(entry(i)).unwrap();
+        }
+        assert_eq!(sb.len(), 3);
+        assert_eq!(sb.front().unwrap().block, BlockAddr::from_index(0));
+        assert_eq!(sb.pop_front().unwrap().block, BlockAddr::from_index(0));
+        assert_eq!(sb.pop_front().unwrap().block, BlockAddr::from_index(1));
+    }
+
+    #[test]
+    fn push_fails_when_full() {
+        let mut sb = StoreBuffer::new(2);
+        sb.push(entry(0)).unwrap();
+        sb.push(entry(1)).unwrap();
+        assert!(sb.is_full());
+        let rejected = sb.push(entry(2)).unwrap_err();
+        assert_eq!(rejected.block, BlockAddr::from_index(2));
+        sb.pop_front();
+        assert!(sb.push(entry(2)).is_ok());
+    }
+
+    #[test]
+    fn pop_at_supports_relaxed_drain() {
+        let mut sb = StoreBuffer::new(4);
+        for i in 0..3 {
+            sb.push(entry(i)).unwrap();
+        }
+        let e = sb.pop_at(1).unwrap();
+        assert_eq!(e.block, BlockAddr::from_index(1));
+        assert_eq!(sb.len(), 2);
+        assert!(sb.pop_at(5).is_none());
+    }
+
+    #[test]
+    fn holds_block_scans_all_entries() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(entry(3)).unwrap();
+        assert!(sb.holds_block(BlockAddr::from_index(3)));
+        assert!(!sb.holds_block(BlockAddr::from_index(9)));
+    }
+
+    #[test]
+    fn drain_all_empties_in_order() {
+        let mut sb = StoreBuffer::new(4);
+        for i in 0..4 {
+            sb.push(entry(i)).unwrap();
+        }
+        let drained = sb.drain_all();
+        assert_eq!(drained.len(), 4);
+        assert!(sb.is_empty());
+        assert!(drained.windows(2).all(|w| w[0].committed < w[1].committed));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = StoreBuffer::new(0);
+    }
+}

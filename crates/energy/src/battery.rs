@@ -1,0 +1,165 @@
+//! Battery sizing: volume and footprint (paper Tables IX/X).
+//!
+//! Two storage technologies from the paper's §IV-C: super-capacitors and
+//! lithium thin-film, at 10⁻⁴ and 10⁻² Wh·cm⁻³ energy density. Volume is
+//! active material only; the footprint comparison assumes a cubic battery
+//! and reports its face area relative to the mobile core's 2.61 mm².
+
+/// Battery technology options (paper §IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatteryTech {
+    /// Carbon-based super-capacitors: 1e-4 Wh/cm³.
+    SuperCap,
+    /// Lithium thin-film: 1e-2 Wh/cm³.
+    LiThin,
+}
+
+impl BatteryTech {
+    /// Both technologies, SuperCap first (the paper's column order).
+    pub const ALL: [BatteryTech; 2] = [BatteryTech::SuperCap, BatteryTech::LiThin];
+
+    /// Energy density in Wh per cm³.
+    #[must_use]
+    pub fn energy_density_wh_per_cm3(self) -> f64 {
+        match self {
+            BatteryTech::SuperCap => 1e-4,
+            BatteryTech::LiThin => 1e-2,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            BatteryTech::SuperCap => "SuperCap",
+            BatteryTech::LiThin => "Li-thin",
+        }
+    }
+}
+
+impl std::fmt::Display for BatteryTech {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Active-material volume in mm³ for a battery storing `energy_j` joules.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_energy::{volume_mm3, BatteryTech};
+/// // 1 Wh of SuperCap is 10^4 cm^3 = 10^7 mm^3.
+/// let v = volume_mm3(3600.0, BatteryTech::SuperCap);
+/// assert!((v - 1e7).abs() / 1e7 < 1e-9);
+/// ```
+#[must_use]
+pub fn volume_mm3(energy_j: f64, tech: BatteryTech) -> f64 {
+    let wh = energy_j / 3600.0;
+    let cm3 = wh / tech.energy_density_wh_per_cm3();
+    cm3 * 1000.0
+}
+
+/// Footprint area in mm² of a cubic battery of the given volume.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_energy::footprint_area_mm2;
+/// assert!((footprint_area_mm2(8.0) - 4.0).abs() < 1e-9); // 2mm cube
+/// ```
+#[must_use]
+pub fn footprint_area_mm2(volume_mm3: f64) -> f64 {
+    volume_mm3.powf(2.0 / 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DrainModel, EnergyCosts, Platform};
+
+    fn close(actual: f64, expected: f64, tol: f64) -> bool {
+        (actual - expected).abs() / expected < tol
+    }
+
+    #[test]
+    fn densities_differ_by_100x() {
+        let s = BatteryTech::SuperCap.energy_density_wh_per_cm3();
+        let l = BatteryTech::LiThin.energy_density_wh_per_cm3();
+        assert!((l / s - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table9_mobile_volumes() {
+        let m = DrainModel::new(Platform::mobile(), EnergyCosts::default());
+        // Paper Table IX: eADR 2.9e3 mm³ SuperCap / 30 mm³ Li-thin;
+        // BBB 4.1 / 0.04.
+        let eadr = volume_mm3(m.eadr_battery_energy_j(), BatteryTech::SuperCap);
+        assert!(close(eadr, 2.9e3, 0.05), "eadr supercap = {eadr}");
+        let eadr_li = volume_mm3(m.eadr_battery_energy_j(), BatteryTech::LiThin);
+        assert!(close(eadr_li, 30.0, 0.05), "eadr li = {eadr_li}");
+        let bbb = volume_mm3(m.bbb_battery_energy_j(32), BatteryTech::SuperCap);
+        assert!(close(bbb, 4.1, 0.05), "bbb supercap = {bbb}");
+        let bbb_li = volume_mm3(m.bbb_battery_energy_j(32), BatteryTech::LiThin);
+        assert!(close(bbb_li, 0.04, 0.06), "bbb li = {bbb_li}");
+    }
+
+    #[test]
+    fn table9_server_volumes() {
+        let s = DrainModel::new(Platform::server(), EnergyCosts::default());
+        // Paper: eADR 34e3 mm³ SuperCap; BBB 21.6 / 0.21.
+        let eadr = volume_mm3(s.eadr_battery_energy_j(), BatteryTech::SuperCap);
+        assert!(close(eadr, 34e3, 0.05), "eadr supercap = {eadr}");
+        let bbb = volume_mm3(s.bbb_battery_energy_j(32), BatteryTech::SuperCap);
+        assert!(close(bbb, 21.6, 0.05), "bbb supercap = {bbb}");
+        let bbb_li = volume_mm3(s.bbb_battery_energy_j(32), BatteryTech::LiThin);
+        assert!(close(bbb_li, 0.21, 0.06), "bbb li = {bbb_li}");
+    }
+
+    #[test]
+    fn table9_core_area_ratios() {
+        let m = DrainModel::new(Platform::mobile(), EnergyCosts::default());
+        let core = m.platform().core_area_mm2;
+        // Paper: mobile eADR SuperCap ~77x the core area; BBB ~97.2%.
+        let eadr_ratio =
+            footprint_area_mm2(volume_mm3(m.eadr_battery_energy_j(), BatteryTech::SuperCap))
+                / core;
+        assert!(close(eadr_ratio, 77.0, 0.05), "ratio = {eadr_ratio}");
+        let bbb_ratio =
+            footprint_area_mm2(volume_mm3(m.bbb_battery_energy_j(32), BatteryTech::SuperCap))
+                / core;
+        assert!(close(bbb_ratio, 0.972, 0.05), "ratio = {bbb_ratio}");
+    }
+
+    #[test]
+    fn table10_battery_size_sweep() {
+        // Paper Table X: mobile SuperCap 0.12 mm³ at 1 entry ... 129.3 at
+        // 1024; server 0.7 ... 689.7.
+        let m = DrainModel::new(Platform::mobile(), EnergyCosts::default());
+        let s = DrainModel::new(Platform::server(), EnergyCosts::default());
+        let v = |model: &DrainModel, e: usize| {
+            volume_mm3(model.bbb_battery_energy_j(e), BatteryTech::SuperCap)
+        };
+        assert!(close(v(&m, 1), 0.128, 0.08));
+        assert!(close(v(&m, 1024), 129.3, 0.05));
+        assert!(close(v(&s, 1), 0.68, 0.05));
+        assert!(close(v(&s, 1024), 689.7, 0.05));
+        // Li-thin column: mobile 0.001 ... 1.3.
+        let li = volume_mm3(m.bbb_battery_energy_j(1024), BatteryTech::LiThin);
+        assert!(close(li, 1.3, 0.05));
+    }
+
+    #[test]
+    fn volume_ratio_eadr_to_bbb_matches_paper_range() {
+        // Paper: "battery volume for BBB is between 707-1574x smaller".
+        for p in [Platform::mobile(), Platform::server()] {
+            let m = DrainModel::new(p, EnergyCosts::default());
+            let r = volume_mm3(m.eadr_battery_energy_j(), BatteryTech::SuperCap)
+                / volume_mm3(m.bbb_battery_energy_j(32), BatteryTech::SuperCap);
+            assert!(
+                (600.0..=1700.0).contains(&r),
+                "volume ratio {r} outside the paper's band"
+            );
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The flush-on-fail drain model: energy and time (paper Tables VII/VIII).
+
+use crate::costs::EnergyCosts;
+use crate::platform::Platform;
+
+/// Computes eADR vs BBB draining energy and time for one platform.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_energy::{DrainModel, EnergyCosts, Platform};
+/// let m = DrainModel::new(Platform::mobile(), EnergyCosts::default());
+/// // Paper Table VII: ~46.5 mJ for mobile eADR, ~145 µJ for BBB-32.
+/// assert!((m.eadr_drain_energy_j(true) - 46.5e-3).abs() < 1.5e-3);
+/// assert!((m.bbb_drain_energy_j(32) - 145e-6).abs() < 5e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrainModel {
+    platform: Platform,
+    costs: EnergyCosts,
+}
+
+impl DrainModel {
+    /// Builds the model from a platform and cost constants.
+    #[must_use]
+    pub fn new(platform: Platform, costs: EnergyCosts) -> Self {
+        Self { platform, costs }
+    }
+
+    /// The modeled platform.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The cost constants.
+    #[must_use]
+    pub fn costs(&self) -> &EnergyCosts {
+        &self.costs
+    }
+
+    /// Bytes eADR must drain. `dirty_only` uses the measured 44.9% dirty
+    /// fraction (average-case, Table VII/VIII); `false` is the worst case
+    /// the battery must be provisioned for (Table IX).
+    #[must_use]
+    pub fn eadr_drain_bytes(&self, dirty_only: bool) -> f64 {
+        let f = if dirty_only {
+            self.costs.dirty_fraction
+        } else {
+            1.0
+        };
+        self.platform.total_cache_bytes() as f64 * f
+    }
+
+    /// Bytes BBB must drain with `entries`-entry bbPBs, assuming the worst
+    /// case of completely full buffers (the paper's assumption for BBB).
+    #[must_use]
+    pub fn bbb_drain_bytes(&self, entries: usize) -> f64 {
+        self.platform.bbpb_bytes(entries) as f64
+    }
+
+    /// eADR draining energy in joules (access + per-level data movement).
+    #[must_use]
+    pub fn eadr_drain_energy_j(&self, dirty_only: bool) -> f64 {
+        let f = if dirty_only {
+            self.costs.dirty_fraction
+        } else {
+            1.0
+        };
+        let c = &self.costs;
+        let p = &self.platform;
+        let movement = p.l1_bytes as f64 * c.l1_to_nvmm_j_per_byte
+            + p.l2_bytes as f64 * c.l2_to_nvmm_j_per_byte
+            + p.l3_bytes as f64 * c.l3_to_nvmm_j_per_byte;
+        let access = p.total_cache_bytes() as f64 * c.sram_access_j_per_byte;
+        f * (movement + access)
+    }
+
+    /// BBB draining energy in joules for full `entries`-entry bbPBs.
+    #[must_use]
+    pub fn bbb_drain_energy_j(&self, entries: usize) -> f64 {
+        let bytes = self.bbb_drain_bytes(entries);
+        bytes * (self.costs.bbpb_to_nvmm_j_per_byte + self.costs.sram_access_j_per_byte)
+    }
+
+    /// eADR draining time in seconds: drain bytes over the platform's full
+    /// NVMM write bandwidth (no competing traffic at a crash).
+    #[must_use]
+    pub fn eadr_drain_time_s(&self, dirty_only: bool) -> f64 {
+        self.eadr_drain_bytes(dirty_only) / self.nvmm_bw()
+    }
+
+    /// BBB draining time in seconds.
+    #[must_use]
+    pub fn bbb_drain_time_s(&self, entries: usize) -> f64 {
+        self.bbb_drain_bytes(entries) / self.nvmm_bw()
+    }
+
+    /// Energy the battery must be provisioned for (worst case: everything
+    /// dirty / buffers full), including the provisioning factor.
+    #[must_use]
+    pub fn eadr_battery_energy_j(&self) -> f64 {
+        self.eadr_drain_energy_j(false) * self.costs.provisioning_factor
+    }
+
+    /// BBB battery provisioning energy for `entries`-entry bbPBs.
+    #[must_use]
+    pub fn bbb_battery_energy_j(&self, entries: usize) -> f64 {
+        self.bbb_drain_energy_j(entries) * self.costs.provisioning_factor
+    }
+
+    fn nvmm_bw(&self) -> f64 {
+        self.platform.memory_channels as f64 * self.costs.nvmm_write_bw_per_channel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mobile() -> DrainModel {
+        DrainModel::new(Platform::mobile(), EnergyCosts::default())
+    }
+
+    fn server() -> DrainModel {
+        DrainModel::new(Platform::server(), EnergyCosts::default())
+    }
+
+    /// Relative-error helper.
+    fn close(actual: f64, expected: f64, tol: f64) -> bool {
+        (actual - expected).abs() / expected < tol
+    }
+
+    #[test]
+    fn table7_mobile_energies() {
+        let m = mobile();
+        // Paper: eADR 46.5 mJ, BBB 145 µJ, ratio 320x.
+        assert!(close(m.eadr_drain_energy_j(true), 46.5e-3, 0.02));
+        assert!(close(m.bbb_drain_energy_j(32), 145e-6, 0.02));
+        let ratio = m.eadr_drain_energy_j(true) / m.bbb_drain_energy_j(32);
+        assert!(close(ratio, 320.0, 0.05), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn table7_server_energies() {
+        let s = server();
+        // Paper: eADR 550 mJ, BBB 775 µJ, ratio 709x.
+        assert!(close(s.eadr_drain_energy_j(true), 550e-3, 0.02));
+        assert!(close(s.bbb_drain_energy_j(32), 775e-6, 0.02));
+        let ratio = s.eadr_drain_energy_j(true) / s.bbb_drain_energy_j(32);
+        assert!(close(ratio, 709.0, 0.05), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn table8_drain_times() {
+        let m = mobile();
+        let s = server();
+        // Paper: mobile 0.8 ms / 2.6 µs; server 1.8 ms / 2.4 µs.
+        assert!(close(m.eadr_drain_time_s(true), 0.8e-3, 0.15));
+        assert!(close(m.bbb_drain_time_s(32), 2.6e-6, 0.05));
+        assert!(close(s.eadr_drain_time_s(true), 1.8e-3, 0.05));
+        assert!(close(s.bbb_drain_time_s(32), 2.4e-6, 0.05));
+    }
+
+    #[test]
+    fn worst_case_exceeds_average() {
+        let m = mobile();
+        assert!(m.eadr_drain_energy_j(false) > m.eadr_drain_energy_j(true));
+        assert!(m.eadr_battery_energy_j() > m.eadr_drain_energy_j(false));
+    }
+
+    #[test]
+    fn bbb_energy_scales_linearly_with_entries() {
+        let m = mobile();
+        let e32 = m.bbb_drain_energy_j(32);
+        let e64 = m.bbb_drain_energy_j(64);
+        assert!(close(e64 / e32, 2.0, 1e-9));
+    }
+}
+
+/// Prices a *measured* drain set (from the simulator's crash-cost report)
+/// rather than the provisioning worst case: energy and time to flush
+/// `blocks` 64-byte blocks (plus `sb_bytes` of store-buffer payload) on
+/// this platform.
+///
+/// This is the bridge between `bbb_core::CrashCost` and the paper's
+/// energy model: run a workload, crash it, and price exactly what the
+/// battery would have had to move at that instant.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_energy::{DrainModel, EnergyCosts, Platform};
+/// let m = DrainModel::new(Platform::mobile(), EnergyCosts::default());
+/// let (energy, time) = m.price_drain_set(32 * 6, 0);
+/// // A full 32-entry bbPB per core == the Table VII BBB figure.
+/// assert!((energy - m.bbb_drain_energy_j(32)).abs() < 1e-12);
+/// assert!(time > 0.0);
+/// ```
+impl DrainModel {
+    /// Returns `(energy_joules, time_seconds)` for draining `blocks`
+    /// cache blocks and `sb_bytes` of store-buffer bytes.
+    #[must_use]
+    pub fn price_drain_set(&self, blocks: u64, sb_bytes: u64) -> (f64, f64) {
+        let bytes = blocks as f64 * 64.0 + sb_bytes as f64;
+        let energy = bytes
+            * (self.costs.bbpb_to_nvmm_j_per_byte + self.costs.sram_access_j_per_byte);
+        let time = bytes
+            / (self.platform.memory_channels as f64 * self.costs.nvmm_write_bw_per_channel);
+        (energy, time)
+    }
+}
+
+#[cfg(test)]
+mod price_tests {
+    use super::*;
+
+    #[test]
+    fn pricing_scales_linearly_and_matches_table7_point() {
+        let m = DrainModel::new(Platform::server(), EnergyCosts::default());
+        let (e1, t1) = m.price_drain_set(100, 0);
+        let (e2, t2) = m.price_drain_set(200, 0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        // Full 32-entry bbPBs on all 32 cores == the Table VII BBB energy.
+        let (e, _) = m.price_drain_set(32 * 32, 0);
+        assert!((e - m.bbb_drain_energy_j(32)).abs() / e < 1e-9);
+    }
+
+    #[test]
+    fn sb_bytes_add_to_the_bill() {
+        let m = DrainModel::new(Platform::mobile(), EnergyCosts::default());
+        let (e0, _) = m.price_drain_set(10, 0);
+        let (e1, _) = m.price_drain_set(10, 64);
+        assert!(e1 > e0);
+        let (e_blk, _) = m.price_drain_set(11, 0);
+        assert!((e1 - e_blk).abs() < 1e-15, "64 SB bytes == one block");
+    }
+}

@@ -1,0 +1,115 @@
+//! The two drain-cost evaluation platforms (paper Table V).
+
+/// A platform description for the drain-cost model.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_energy::Platform;
+/// let m = Platform::mobile();
+/// assert_eq!(m.cores, 6);
+/// assert_eq!(m.memory_channels, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Display name.
+    pub name: &'static str,
+    /// Core count.
+    pub cores: usize,
+    /// Total L1 capacity across cores, in bytes.
+    pub l1_bytes: u64,
+    /// Total L2 capacity, in bytes.
+    pub l2_bytes: u64,
+    /// Total L3 capacity, in bytes (0 when absent).
+    pub l3_bytes: u64,
+    /// Memory channels.
+    pub memory_channels: usize,
+    /// Footprint of one core in mm² (the paper uses the mobile core's
+    /// 2.61 mm² as the comparison yardstick for both platforms).
+    pub core_area_mm2: f64,
+}
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * KIB;
+
+impl Platform {
+    /// The mobile-class system (iPhone-11-like, paper Table V): 6 cores,
+    /// 6 × 128 kB L1, one 8 MB L2, no L3, 2 memory channels.
+    #[must_use]
+    pub fn mobile() -> Self {
+        Self {
+            name: "Mobile Class",
+            cores: 6,
+            l1_bytes: 6 * 128 * KIB,
+            l2_bytes: 8 * MIB,
+            l3_bytes: 0,
+            memory_channels: 2,
+            core_area_mm2: 2.61,
+        }
+    }
+
+    /// The server-class system (Xeon-Platinum-9222-like, paper Table V):
+    /// 32 cores, 32 × 32 kB L1, 32 × 1 MB L2, 2 × 35.75 MB L3, 12
+    /// channels.
+    #[must_use]
+    pub fn server() -> Self {
+        Self {
+            name: "Server Class",
+            cores: 32,
+            l1_bytes: 32 * 32 * KIB,
+            l2_bytes: 32 * MIB,
+            l3_bytes: 2 * 35 * MIB + 2 * 768 * KIB, // 2 x 35.75 MiB
+            memory_channels: 12,
+            core_area_mm2: 2.61,
+        }
+    }
+
+    /// Total cache capacity (the eADR battery's responsibility).
+    #[must_use]
+    pub fn total_cache_bytes(&self) -> u64 {
+        self.l1_bytes + self.l2_bytes + self.l3_bytes
+    }
+
+    /// Total bbPB capacity for `entries` 64-byte entries per core (the BBB
+    /// battery's responsibility).
+    #[must_use]
+    pub fn bbpb_bytes(&self, entries: usize) -> u64 {
+        self.cores as u64 * entries as u64 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobile_matches_table5() {
+        let m = Platform::mobile();
+        assert_eq!(m.l1_bytes, 786_432);
+        assert_eq!(m.l2_bytes, 8 * MIB);
+        assert_eq!(m.l3_bytes, 0);
+        // Paper: total ~8.75 MB.
+        assert_eq!(m.total_cache_bytes(), 8 * MIB + 768 * KIB);
+    }
+
+    #[test]
+    fn server_matches_table5() {
+        let s = Platform::server();
+        assert_eq!(s.cores, 32);
+        assert_eq!(s.l1_bytes, MIB);
+        assert_eq!(s.l2_bytes, 32 * MIB);
+        assert_eq!(s.l3_bytes, 71 * MIB + 512 * KIB); // 71.5 MiB
+        assert_eq!(s.memory_channels, 12);
+        // Paper: total ~107 MB (104.5 MiB).
+        assert_eq!(s.total_cache_bytes(), 104 * MIB + 512 * KIB);
+    }
+
+    #[test]
+    fn bbpb_capacity_scales_with_entries_and_cores() {
+        let m = Platform::mobile();
+        assert_eq!(m.bbpb_bytes(32), 6 * 32 * 64);
+        let s = Platform::server();
+        assert_eq!(s.bbpb_bytes(32), 32 * 32 * 64);
+        assert_eq!(s.bbpb_bytes(1024), 32 * 1024 * 64);
+    }
+}

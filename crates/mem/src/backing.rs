@@ -1,0 +1,177 @@
+//! Sparse functional byte storage.
+//!
+//! [`ByteStore`] backs both the memory devices (media contents) and the
+//! architectural memory workloads execute against. It is a sparse map of
+//! 4 KiB pages, so an 8 GB address space costs memory only for pages
+//! actually touched.
+
+use std::collections::HashMap;
+
+use bbb_sim::{Addr, BlockAddr, BLOCK_BYTES};
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// A sparse, byte-addressable memory with zero-fill semantics: reading an
+/// address that was never written returns zero.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_mem::ByteStore;
+/// let mut m = ByteStore::new();
+/// m.write_u64(0x1000, 0xDEAD_BEEF);
+/// assert_eq!(m.read_u64(0x1000), 0xDEAD_BEEF);
+/// assert_eq!(m.read_u64(0x2000), 0); // untouched => zero
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ByteStore {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl ByteStore {
+    /// Creates an empty (all-zero) store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of 4 KiB pages materialized so far.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        let mut pos = 0;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            let page = a >> PAGE_SHIFT;
+            let off = (a as usize) & (PAGE_BYTES - 1);
+            let n = (PAGE_BYTES - off).min(buf.len() - pos);
+            match self.pages.get(&page) {
+                Some(p) => buf[pos..pos + n].copy_from_slice(&p[off..off + n]),
+                None => buf[pos..pos + n].fill(0),
+            }
+            pos += n;
+        }
+    }
+
+    /// Writes `data` starting at `addr`, materializing pages as needed.
+    pub fn write(&mut self, addr: Addr, data: &[u8]) {
+        let mut pos = 0;
+        while pos < data.len() {
+            let a = addr + pos as u64;
+            let page = a >> PAGE_SHIFT;
+            let off = (a as usize) & (PAGE_BYTES - 1);
+            let n = (PAGE_BYTES - off).min(data.len() - pos);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            p[off..off + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+    }
+
+    /// Reads one 64-byte cache block.
+    #[must_use]
+    pub fn read_block(&self, block: BlockAddr) -> [u8; BLOCK_BYTES] {
+        let mut buf = [0u8; BLOCK_BYTES];
+        self.read(block.base(), &mut buf);
+        buf
+    }
+
+    /// Writes one 64-byte cache block.
+    pub fn write_block(&mut self, block: BlockAddr, data: &[u8; BLOCK_BYTES]) {
+        self.write(block.base(), data);
+    }
+
+    /// Reads a little-endian `u64` at `addr` (need not be aligned).
+    #[must_use]
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Iterates `(page_base_address, page_bytes)` over materialized pages,
+    /// in ascending address order (bulk mirroring into device media).
+    pub fn iter_pages(&self) -> impl Iterator<Item = (Addr, &[u8])> {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(move |k| {
+            let page = &self.pages[&k];
+            ((k << PAGE_SHIFT), &page[..])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = ByteStore::new();
+        let mut buf = [0xFFu8; 32];
+        m.read(0x1234, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = ByteStore::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write(0x7FF8, &data); // straddles a page boundary
+        let mut out = vec![0u8; 256];
+        m.read(0x7FF8, &mut out);
+        assert_eq!(out, data);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let mut m = ByteStore::new();
+        let block = BlockAddr::containing(0x4040);
+        let mut data = [0u8; BLOCK_BYTES];
+        data[0] = 0xAA;
+        data[63] = 0x55;
+        m.write_block(block, &data);
+        assert_eq!(m.read_block(block), data);
+    }
+
+    #[test]
+    fn u64_round_trip_unaligned() {
+        let mut m = ByteStore::new();
+        m.write_u64(0x1003, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u64(0x1003), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn partial_overwrite_preserves_rest() {
+        let mut m = ByteStore::new();
+        m.write(0x100, &[1, 2, 3, 4]);
+        m.write(0x102, &[9]);
+        let mut out = [0u8; 4];
+        m.read(0x100, &mut out);
+        assert_eq!(out, [1, 2, 9, 4]);
+    }
+
+    #[test]
+    fn clone_is_snapshot() {
+        let mut m = ByteStore::new();
+        m.write_u64(0, 1);
+        let snap = m.clone();
+        m.write_u64(0, 2);
+        assert_eq!(snap.read_u64(0), 1);
+        assert_eq!(m.read_u64(0), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Post-crash NVMM images.
+//!
+//! When the simulator injects a power failure, whatever the active
+//! persistence domain drained to media becomes an [`NvmImage`]: the exact
+//! byte contents recovery code would see on reboot. Workload-specific
+//! checkers (in `bbb-workloads`) validate structure invariants against it.
+
+use bbb_sim::{Addr, BlockAddr, BLOCK_BYTES};
+
+use crate::backing::ByteStore;
+
+/// An immutable snapshot of NVMM media contents after a crash.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_mem::{ByteStore, NvmImage};
+/// let mut media = ByteStore::new();
+/// media.write_u64(0x100, 7);
+/// let image = NvmImage::from_store(media);
+/// assert_eq!(image.read_u64(0x100), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NvmImage {
+    store: ByteStore,
+}
+
+impl NvmImage {
+    /// Wraps a snapshot of media contents.
+    #[must_use]
+    pub fn from_store(store: ByteStore) -> Self {
+        Self { store }
+    }
+
+    /// Reads raw bytes.
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        self.store.read(addr, buf);
+    }
+
+    /// Reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        self.store.read_u64(addr)
+    }
+
+    /// Reads one cache block.
+    #[must_use]
+    pub fn read_block(&self, block: BlockAddr) -> [u8; BLOCK_BYTES] {
+        self.store.read_block(block)
+    }
+
+    /// Borrows the underlying store (for bulk comparisons in tests).
+    #[must_use]
+    pub fn as_store(&self) -> &ByteStore {
+        &self.store
+    }
+
+    /// Unwraps into the underlying store.
+    #[must_use]
+    pub fn into_store(self) -> ByteStore {
+        self.store
+    }
+}
+
+impl From<ByteStore> for NvmImage {
+    fn from(store: ByteStore) -> Self {
+        Self::from_store(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_reads_match_store() {
+        let mut s = ByteStore::new();
+        s.write(0x40, &[1, 2, 3]);
+        let img: NvmImage = s.clone().into();
+        let mut buf = [0u8; 3];
+        img.read(0x40, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(img.read_block(BlockAddr::containing(0x40))[..3], [1, 2, 3]);
+        assert_eq!(img.as_store(), &s);
+        assert_eq!(img.into_store(), s);
+    }
+}

@@ -1,0 +1,128 @@
+//! Channel occupancy scheduling.
+//!
+//! Memory devices service one request per channel at a time. Instead of
+//! ticking queues, [`ChannelScheduler`] assigns each submitted request a
+//! start time on the least-loaded channel and returns its completion cycle,
+//! which is exact for FCFS service.
+
+use bbb_sim::Cycle;
+
+/// Assigns requests to the earliest-available of `n` identical channels.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_mem::ChannelScheduler;
+/// let mut s = ChannelScheduler::new(2);
+/// assert_eq!(s.schedule(0, 100), (0, 100));   // channel 0
+/// assert_eq!(s.schedule(0, 100), (0, 100));   // channel 1
+/// assert_eq!(s.schedule(0, 100), (100, 200)); // queues behind channel 0
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelScheduler {
+    free_at: Vec<Cycle>,
+}
+
+impl ChannelScheduler {
+    /// Creates a scheduler over `channels` parallel servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    #[must_use]
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        Self {
+            free_at: vec![0; channels],
+        }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Schedules a request arriving at `now` that occupies a channel for
+    /// `latency` cycles. Returns `(start, completion)`.
+    pub fn schedule(&mut self, now: Cycle, latency: Cycle) -> (Cycle, Cycle) {
+        let idx = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("at least one channel");
+        let start = now.max(self.free_at[idx]);
+        let completion = start + latency;
+        self.free_at[idx] = completion;
+        (start, completion)
+    }
+
+    /// The earliest cycle at which any channel is free, given time `now`.
+    #[must_use]
+    pub fn earliest_free(&self, now: Cycle) -> Cycle {
+        self.free_at
+            .iter()
+            .copied()
+            .min()
+            .expect("at least one channel")
+            .max(now)
+    }
+
+    /// Number of channels busy at `now`.
+    #[must_use]
+    pub fn busy_channels(&self, now: Cycle) -> usize {
+        self.free_at.iter().filter(|&&t| t > now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_channels_overlap() {
+        let mut s = ChannelScheduler::new(4);
+        for _ in 0..4 {
+            assert_eq!(s.schedule(10, 50), (10, 60));
+        }
+        // Fifth request waits for a free channel.
+        assert_eq!(s.schedule(10, 50), (60, 110));
+    }
+
+    #[test]
+    fn idle_channel_starts_immediately() {
+        let mut s = ChannelScheduler::new(1);
+        s.schedule(0, 100);
+        // After the channel frees, a later request starts at arrival.
+        assert_eq!(s.schedule(500, 10), (500, 510));
+    }
+
+    #[test]
+    fn earliest_free_tracks_load() {
+        let mut s = ChannelScheduler::new(2);
+        assert_eq!(s.earliest_free(0), 0);
+        s.schedule(0, 100);
+        assert_eq!(s.earliest_free(0), 0); // second channel idle
+        s.schedule(0, 30);
+        assert_eq!(s.earliest_free(0), 30);
+        assert_eq!(s.earliest_free(1000), 1000);
+    }
+
+    #[test]
+    fn busy_count() {
+        let mut s = ChannelScheduler::new(3);
+        s.schedule(0, 10);
+        s.schedule(0, 20);
+        assert_eq!(s.busy_channels(5), 2);
+        assert_eq!(s.busy_channels(15), 1);
+        assert_eq!(s.busy_channels(25), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let _ = ChannelScheduler::new(0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The NVMM controller's write-pending queue (WPQ).
+//!
+//! Under ADR the WPQ is the point of persistency: a write is durable the
+//! cycle it is accepted, because a capacitor guarantees the queue drains to
+//! media on power failure (paper §I footnote 1, §VI "eADR"). The WPQ also
+//! coalesces writes to a block that is still queued, which matters for the
+//! NVMM write-endurance comparison.
+//!
+//! Timing is analytic: each accepted entry is immediately assigned a media
+//! start/completion window on the controller's channels; the entry occupies
+//! a WPQ slot until its media write completes.
+
+use std::collections::HashMap;
+
+use bbb_sim::{BlockAddr, Counter, Cycle, Stats, BLOCK_BYTES};
+
+use crate::sched::ChannelScheduler;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    start: Cycle,
+    completion: Cycle,
+}
+
+/// Outcome of offering a write to the WPQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WpqAccept {
+    /// Cycle the write was accepted — the point of persistency under ADR.
+    pub persist: Cycle,
+    /// Cycle the media write completes (equals `persist` for coalesced
+    /// writes, which piggyback on the queued entry).
+    pub media_completion: Cycle,
+    /// True if the write merged into an already-queued entry for the same
+    /// block instead of consuming a new media write.
+    pub coalesced: bool,
+}
+
+/// A fixed-capacity write-pending queue with ADR semantics.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_mem::{ChannelScheduler, WritePendingQueue};
+/// use bbb_sim::BlockAddr;
+///
+/// let mut wpq = WritePendingQueue::new(8);
+/// let mut media = ChannelScheduler::new(2);
+/// let accept = wpq.offer(0, BlockAddr::from_index(1), &mut media, 1000);
+/// assert_eq!(accept.persist, 0); // durable on acceptance (ADR)
+/// ```
+#[derive(Debug, Clone)]
+pub struct WritePendingQueue {
+    capacity: usize,
+    entries: HashMap<BlockAddr, Entry>,
+    media_writes: Counter,
+    coalesced: Counter,
+    backpressure_events: Counter,
+}
+
+impl WritePendingQueue {
+    /// Creates a WPQ holding up to `capacity` block entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "WPQ capacity must be positive");
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            media_writes: Counter::new(),
+            coalesced: Counter::new(),
+            backpressure_events: Counter::new(),
+        }
+    }
+
+    /// Capacity in block entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries still occupying the queue at `now` (media write not yet
+    /// complete).
+    #[must_use]
+    pub fn occupancy(&self, now: Cycle) -> usize {
+        self.entries.values().filter(|e| e.completion > now).count()
+    }
+
+    /// Offers a block write arriving at `now`. `media` schedules the drain
+    /// to the NVM media with `write_latency` per block.
+    ///
+    /// If the block is already queued and its media write has not started,
+    /// the write coalesces (no new media write). If the queue is full, the
+    /// write is accepted only when the earliest entry completes
+    /// (backpressure) — the returned `persist` reflects that stall.
+    pub fn offer(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+        media: &mut ChannelScheduler,
+        write_latency: Cycle,
+    ) -> WpqAccept {
+        self.purge(now);
+        if let Some(e) = self.entries.get(&block) {
+            if e.start > now {
+                self.coalesced.inc();
+                return WpqAccept {
+                    persist: now,
+                    media_completion: e.completion,
+                    coalesced: true,
+                };
+            }
+        }
+        let mut accept = now;
+        if self.occupancy(now) >= self.capacity {
+            self.backpressure_events.inc();
+            accept = self
+                .entries
+                .values()
+                .map(|e| e.completion)
+                .filter(|&c| c > now)
+                .min()
+                .unwrap_or(now);
+            self.purge(accept);
+        }
+        let (start, completion) = media.schedule(accept, write_latency);
+        self.entries.insert(block, Entry { start, completion });
+        self.media_writes.inc();
+        WpqAccept {
+            persist: accept,
+            media_completion: completion,
+            coalesced: false,
+        }
+    }
+
+    /// True if `block` still has a queued entry at `now` (read forwarding).
+    #[must_use]
+    pub fn holds(&self, block: BlockAddr, now: Cycle) -> bool {
+        self.entries
+            .get(&block)
+            .is_some_and(|e| e.completion > now)
+    }
+
+    /// Drops entries whose media writes have completed.
+    fn purge(&mut self, now: Cycle) {
+        self.entries.retain(|_, e| e.completion > now);
+    }
+
+    /// Bytes that the flush-on-fail battery must drain if power is lost at
+    /// `now` — every still-queued entry.
+    #[must_use]
+    pub fn crash_drain_bytes(&self, now: Cycle) -> u64 {
+        self.occupancy(now) as u64 * BLOCK_BYTES as u64
+    }
+
+    /// Exports counters under the `wpq.` prefix.
+    #[must_use]
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("wpq.media_writes", self.media_writes.get());
+        s.set("wpq.coalesced", self.coalesced.get());
+        s.set("wpq.backpressure_events", self.backpressure_events.get());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wpq_and_media() -> (WritePendingQueue, ChannelScheduler) {
+        (WritePendingQueue::new(4), ChannelScheduler::new(1))
+    }
+
+    const WLAT: Cycle = 1000;
+
+    #[test]
+    fn accept_is_immediate_with_space() {
+        let (mut q, mut m) = wpq_and_media();
+        let a = q.offer(5, BlockAddr::from_index(1), &mut m, WLAT);
+        assert_eq!(a.persist, 5);
+        assert_eq!(a.media_completion, 5 + WLAT);
+        assert!(!a.coalesced);
+        assert_eq!(q.occupancy(5), 1);
+    }
+
+    #[test]
+    fn coalesces_queued_block() {
+        let (mut q, mut m) = wpq_and_media();
+        // First write starts immediately; a write to a *different* block
+        // queues behind it on the single channel, so its start is in the
+        // future and a third write to that block can coalesce.
+        q.offer(0, BlockAddr::from_index(1), &mut m, WLAT);
+        let b = q.offer(0, BlockAddr::from_index(2), &mut m, WLAT);
+        assert_eq!(b.persist, 0);
+        let c = q.offer(10, BlockAddr::from_index(2), &mut m, WLAT);
+        assert!(c.coalesced);
+        assert_eq!(c.media_completion, b.media_completion);
+        assert_eq!(q.stats().get("wpq.media_writes"), 2);
+        assert_eq!(q.stats().get("wpq.coalesced"), 1);
+    }
+
+    #[test]
+    fn started_entry_does_not_coalesce() {
+        let (mut q, mut m) = wpq_and_media();
+        q.offer(0, BlockAddr::from_index(1), &mut m, WLAT); // starts at 0
+        let again = q.offer(10, BlockAddr::from_index(1), &mut m, WLAT);
+        assert!(!again.coalesced, "in-flight media write cannot absorb new data");
+        assert_eq!(q.stats().get("wpq.media_writes"), 2);
+    }
+
+    #[test]
+    fn backpressure_when_full() {
+        let (mut q, mut m) = wpq_and_media();
+        for i in 0..4 {
+            q.offer(0, BlockAddr::from_index(i), &mut m, WLAT);
+        }
+        assert_eq!(q.occupancy(0), 4);
+        let a = q.offer(0, BlockAddr::from_index(99), &mut m, WLAT);
+        // Earliest completion on the single channel is WLAT.
+        assert_eq!(a.persist, WLAT);
+        assert_eq!(q.stats().get("wpq.backpressure_events"), 1);
+    }
+
+    #[test]
+    fn occupancy_drains_over_time() {
+        let (mut q, mut m) = wpq_and_media();
+        for i in 0..3 {
+            q.offer(0, BlockAddr::from_index(i), &mut m, WLAT);
+        }
+        assert_eq!(q.occupancy(0), 3);
+        assert_eq!(q.occupancy(WLAT), 2);
+        assert_eq!(q.occupancy(3 * WLAT), 0);
+        assert_eq!(q.crash_drain_bytes(WLAT), 2 * 64);
+    }
+
+    #[test]
+    fn holds_reflects_queue_contents() {
+        let (mut q, mut m) = wpq_and_media();
+        let b = BlockAddr::from_index(3);
+        q.offer(0, b, &mut m, WLAT);
+        assert!(q.holds(b, 10));
+        assert!(!q.holds(b, WLAT + 1));
+        assert!(!q.holds(BlockAddr::from_index(4), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = WritePendingQueue::new(0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulation clock: cycle counting and nanosecond conversions.
+//!
+//! The simulated machine runs at 2 GHz (paper Table III), so one nanosecond
+//! is exactly two cycles. All device latencies in the paper are given in
+//! nanoseconds; [`ns_to_cycles`] performs the conversion used everywhere.
+
+/// Simulated clock frequency in GHz (paper Table III: 2 GHz).
+pub const CLOCK_GHZ: u64 = 2;
+
+/// A point in simulated time, measured in core clock cycles.
+///
+/// `Cycle` is a plain `u64` newtype-free alias: the simulator passes cycles
+/// around constantly and the arithmetic is pervasive enough that a newtype
+/// would add noise without catching real bugs (there is only one clock
+/// domain in the model).
+pub type Cycle = u64;
+
+/// Converts a latency in nanoseconds to clock cycles at [`CLOCK_GHZ`].
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::clock::ns_to_cycles;
+/// assert_eq!(ns_to_cycles(55), 110);   // DRAM access
+/// assert_eq!(ns_to_cycles(150), 300);  // NVMM read
+/// assert_eq!(ns_to_cycles(500), 1000); // NVMM write
+/// ```
+#[must_use]
+pub const fn ns_to_cycles(ns: u64) -> Cycle {
+    ns * CLOCK_GHZ
+}
+
+/// Converts a cycle count back to nanoseconds (integer division).
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::clock::cycles_to_ns;
+/// assert_eq!(cycles_to_ns(1000), 500);
+/// ```
+#[must_use]
+pub const fn cycles_to_ns(cycles: Cycle) -> u64 {
+    cycles / CLOCK_GHZ
+}
+
+/// Converts a cycle count to seconds as `f64`, for reporting.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::clock::cycles_to_secs;
+/// assert!((cycles_to_secs(2_000_000_000) - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn cycles_to_secs(cycles: Cycle) -> f64 {
+    cycles as f64 / (CLOCK_GHZ as f64 * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip() {
+        for ns in [0, 1, 55, 150, 500, 1_000_000] {
+            assert_eq!(cycles_to_ns(ns_to_cycles(ns)), ns);
+        }
+    }
+
+    #[test]
+    fn paper_latencies() {
+        // Paper Table III converted at 2 GHz.
+        assert_eq!(ns_to_cycles(55), 110);
+        assert_eq!(ns_to_cycles(150), 300);
+        assert_eq!(ns_to_cycles(500), 1000);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert_eq!(cycles_to_secs(0), 0.0);
+        assert!((cycles_to_secs(2) - 1e-9).abs() < 1e-18);
+    }
+}

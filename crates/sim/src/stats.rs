@@ -1,0 +1,338 @@
+//! Lightweight simulation statistics.
+//!
+//! Components own [`Counter`]s directly (cheap `u64` increments on the hot
+//! path) and expose them through a flat [`Stats`] map when a run finishes.
+//! The benchmark harness merges per-component maps to print the paper's
+//! metrics (execution cycles, NVMM writes, bbPB rejections/drains, …).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::Counter;
+/// let mut c = Counter::default();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(0)
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A flat, ordered name → value map of counters collected from a finished
+/// simulation.
+///
+/// Keys use `component.metric` dotted names (`"nvmm.writes"`,
+/// `"bbpb.rejections"`), kept sorted so reports are stable.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::Stats;
+/// let mut s = Stats::new();
+/// s.set("nvmm.writes", 10);
+/// s.add("nvmm.writes", 5);
+/// assert_eq!(s.get("nvmm.writes"), 15);
+/// assert_eq!(s.get("missing"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    values: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    /// Creates an empty stats map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `name` to `value`, replacing any previous value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Adds `value` to `name` (starting from 0 if absent).
+    pub fn add(&mut self, name: &str, value: u64) {
+        *self.values.entry(name.to_owned()).or_insert(0) += value;
+    }
+
+    /// Reads `name`, returning 0 if it was never recorded.
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges another stats map into this one, summing shared keys.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.values {
+            *self.values.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates `(name, value)` pairs in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of recorded metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no metric has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<(String, u64)> for Stats {
+    fn extend<T: IntoIterator<Item = (String, u64)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            *self.values.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+impl FromIterator<(String, u64)> for Stats {
+    fn from_iter<T: IntoIterator<Item = (String, u64)>>(iter: T) -> Self {
+        let mut s = Stats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A power-of-two-bucketed histogram for latency/occupancy distributions.
+///
+/// Bucket `i` counts samples in `[2^(i-1), 2^i)` (bucket 0 counts zeros
+/// and ones). 64 buckets cover the full `u64` range.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::stats::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(5);
+/// h.record(5);
+/// assert_eq!(h.samples(), 3);
+/// assert_eq!(h.max(), 5);
+/// assert!((h.mean() - 10.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    samples: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            samples: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()).saturating_sub(1) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.samples += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub const fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest sample seen (0 when empty).
+    #[must_use]
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of all samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Smallest value `v` such that at least `pct` percent of samples are
+    /// `<= 2^ceil(log2 v)` — an upper bound on the percentile at bucket
+    /// granularity. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not in `(0, 100]`.
+    #[must_use]
+    pub fn percentile_upper_bound(&self, pct: u8) -> u64 {
+        assert!(pct > 0 && pct <= 100, "percentile must be in (0, 100]");
+        if self.samples == 0 {
+            return 0;
+        }
+        let target = (u128::from(self.samples) * u128::from(pct)).div_ceil(100) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 1 } else { 1u64 << (i + 1) };
+            }
+        }
+        self.max
+    }
+
+    /// Counts per occupied bucket: `(bucket_upper_bound, count)`.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 1 } else { 1u64 << (i + 1) }, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(format!("{c}"), "10");
+    }
+
+    #[test]
+    fn stats_set_add_get() {
+        let mut s = Stats::new();
+        assert!(s.is_empty());
+        s.set("a", 3);
+        s.add("a", 2);
+        s.add("b", 1);
+        assert_eq!(s.get("a"), 5);
+        assert_eq!(s.get("b"), 1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_shared_keys() {
+        let mut a = Stats::new();
+        a.set("x", 1);
+        a.set("y", 2);
+        let mut b = Stats::new();
+        b.set("y", 3);
+        b.set("z", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get("z"), 4);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s: Stats = [("b".to_owned(), 2), ("a".to_owned(), 1)]
+            .into_iter()
+            .collect();
+        let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile_upper_bound(50), 0);
+        for v in [0u64, 1, 2, 3, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.samples(), 7);
+        assert_eq!(h.max(), 1000);
+        let buckets: Vec<(u64, u64)> = h.occupied_buckets().collect();
+        // zeros+ones -> bucket 1; {2,3} -> 2^2; {4} -> 4..8 bucket (8); 8 -> 16; 1000 -> 1024.
+        assert_eq!(buckets[0], (1, 2));
+        assert!(h.percentile_upper_bound(50) <= 8);
+        assert_eq!(h.percentile_upper_bound(100), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_panics() {
+        Histogram::new().percentile_upper_bound(0);
+    }
+
+    #[test]
+    fn display_lists_all() {
+        let mut s = Stats::new();
+        s.set("m", 7);
+        assert_eq!(format!("{s}"), "m = 7\n");
+    }
+}

@@ -1,0 +1,218 @@
+//! ASCII table rendering for the benchmark harness.
+//!
+//! Every `bbb-bench` binary regenerates one of the paper's tables or figure
+//! series; [`Table`] gives them a uniform, column-aligned text format.
+
+use std::fmt;
+
+/// A simple column-aligned text table with a title and a header row.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::Table;
+/// let mut t = Table::new("Demo", &["workload", "value"]);
+/// t.row(&["rtree", "1.01"]);
+/// let s = t.to_string();
+/// assert!(s.contains("rtree"));
+/// assert!(s.contains("workload"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends a row from owned strings (convenient with `format!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(total.min(100)))?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in cells.iter().zip(&widths) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        writeln!(f, "{}", "-".repeat(total.min(100)))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio like the paper does: `"320x"` style multipliers.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::table::ratio;
+/// assert_eq!(ratio(320.4), "320x");
+/// assert_eq!(ratio(2.75), "2.8x");
+/// ```
+#[must_use]
+pub fn ratio(x: f64) -> String {
+    if x >= 10.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.1}x")
+    }
+}
+
+/// Formats an energy value in joules with an SI prefix (`mJ`, `µJ`, `nJ`).
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::table::si_energy;
+/// assert_eq!(si_energy(0.0465), "46.5 mJ");
+/// assert_eq!(si_energy(145e-6), "145.0 µJ");
+/// ```
+#[must_use]
+pub fn si_energy(joules: f64) -> String {
+    si(joules, "J")
+}
+
+/// Formats a duration in seconds with an SI prefix (`ms`, `µs`, `ns`).
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::table::si_time;
+/// assert_eq!(si_time(0.0018), "1.8 ms");
+/// assert_eq!(si_time(2.6e-6), "2.6 µs");
+/// ```
+#[must_use]
+pub fn si_time(seconds: f64) -> String {
+    si(seconds, "s")
+}
+
+fn si(value: f64, unit: &str) -> String {
+    let (scaled, prefix) = if value == 0.0 {
+        (0.0, "")
+    } else if value.abs() >= 1.0 {
+        (value, "")
+    } else if value.abs() >= 1e-3 {
+        (value * 1e3, "m")
+    } else if value.abs() >= 1e-6 {
+        (value * 1e6, "µ")
+    } else {
+        (value * 1e9, "n")
+    };
+    format!("{scaled:.1} {prefix}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["name", "v"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "22"]);
+        let out = t.to_string();
+        assert!(out.contains("| name   | v  |"));
+        assert!(out.contains("| longer | 22 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn owned_rows() {
+        let mut t = Table::new("T", &["a"]);
+        t.row_owned(vec![format!("{}", 42)]);
+        assert!(t.to_string().contains("42"));
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(709.0), "709x");
+        assert_eq!(ratio(1.0), "1.0x");
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(si_energy(0.55), "550.0 mJ");
+        assert_eq!(si_energy(775e-6), "775.0 µJ");
+        assert_eq!(si_time(1.8e-3), "1.8 ms");
+        assert_eq!(si_time(2.4e-6), "2.4 µs");
+        assert_eq!(si_energy(0.0), "0.0 J");
+        assert_eq!(si_energy(2.5), "2.5 J");
+        assert_eq!(si_time(3e-9), "3.0 ns");
+    }
+}

@@ -1,0 +1,164 @@
+//! Building op sequences with persistency-mode-aware instrumentation.
+//!
+//! [`OpBuilder`] is the bridge between a data structure's functional code
+//! and the simulator: every load/store both updates architectural memory
+//! and appends the corresponding [`Op`]. When *instrumentation* is on —
+//! the PMEM baseline — each persisting store is followed by `clwb` +
+//! `sfence`, exactly the transformation the paper's Fig. 2 → Fig. 3 shows
+//! a programmer must perform by hand. Under BBB/eADR instrumentation stays
+//! off and the very same structure code is crash consistent.
+
+use bbb_cpu::Op;
+use bbb_mem::ByteStore;
+use bbb_sim::{Addr, AddressMap};
+
+/// Collects the op sequence of one high-level operation.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_mem::ByteStore;
+/// use bbb_sim::{AddressMap, SimConfig};
+/// use bbb_workloads::OpBuilder;
+///
+/// let map = AddressMap::new(&SimConfig::default());
+/// let mut arch = ByteStore::new();
+/// let a = map.persistent_base();
+///
+/// // Uninstrumented (BBB/eADR): one store, no flushes.
+/// let mut b = OpBuilder::new(&map, false);
+/// b.store_u64(&mut arch, a, 7);
+/// assert_eq!(b.finish().len(), 1);
+///
+/// // Instrumented (PMEM): store + clwb + sfence.
+/// let mut b = OpBuilder::new(&map, true);
+/// b.store_u64(&mut arch, a, 7);
+/// assert_eq!(b.finish().len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct OpBuilder<'a> {
+    map: &'a AddressMap,
+    instrument: bool,
+    ops: Vec<Op>,
+}
+
+impl<'a> OpBuilder<'a> {
+    /// Creates a builder. `instrument` inserts `clwb`+`sfence` after every
+    /// persisting store (strict persistency in software, the PMEM way).
+    #[must_use]
+    pub fn new(map: &'a AddressMap, instrument: bool) -> Self {
+        Self {
+            map,
+            instrument,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Reads a `u64` from architectural memory and emits the load op.
+    pub fn load_u64(&mut self, arch: &ByteStore, addr: Addr) -> u64 {
+        self.ops.push(Op::load_u64(addr));
+        arch.read_u64(addr)
+    }
+
+    /// Writes a `u64` to architectural memory and emits the store op (plus
+    /// flush/fence when instrumenting and the target is persistent).
+    pub fn store_u64(&mut self, arch: &mut ByteStore, addr: Addr, value: u64) {
+        arch.write_u64(addr, value);
+        self.ops.push(Op::store_u64(addr, value));
+        if self.instrument && self.map.is_persistent(addr) {
+            self.ops.push(Op::Clwb { addr });
+            self.ops.push(Op::Fence);
+        }
+    }
+
+    /// Emits `cycles` of non-memory work.
+    pub fn compute(&mut self, cycles: u32) {
+        self.ops.push(Op::Compute { cycles });
+    }
+
+    /// Emits an explicit flush + fence for `addr` (epoch-style manual
+    /// persistency control, independent of instrumentation).
+    pub fn persist_barrier(&mut self, addr: Addr) {
+        self.ops.push(Op::Clwb { addr });
+        self.ops.push(Op::Fence);
+    }
+
+    /// Number of ops collected so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no op has been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finishes the operation, returning its op sequence.
+    #[must_use]
+    pub fn finish(self) -> Vec<Op> {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbb_sim::SimConfig;
+
+    fn map() -> AddressMap {
+        AddressMap::new(&SimConfig::small_for_tests())
+    }
+
+    #[test]
+    fn load_reads_arch_and_emits_op() {
+        let m = map();
+        let mut arch = ByteStore::new();
+        arch.write_u64(m.persistent_base(), 0x42);
+        let mut b = OpBuilder::new(&m, false);
+        let v = b.load_u64(&arch, m.persistent_base());
+        assert_eq!(v, 0x42);
+        let ops = b.finish();
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].is_load());
+    }
+
+    #[test]
+    fn instrumentation_only_touches_persistent_stores() {
+        let m = map();
+        let mut arch = ByteStore::new();
+        let mut b = OpBuilder::new(&m, true);
+        b.store_u64(&mut arch, 0x100, 1); // DRAM address
+        b.store_u64(&mut arch, m.persistent_base(), 2); // persistent
+        let ops = b.finish();
+        // DRAM store alone; persistent store + clwb + fence.
+        assert_eq!(ops.len(), 4);
+        assert!(matches!(ops[1], Op::Store { .. }));
+        assert!(matches!(ops[2], Op::Clwb { .. }));
+        assert!(matches!(ops[3], Op::Fence));
+    }
+
+    #[test]
+    fn stores_update_arch_memory() {
+        let m = map();
+        let mut arch = ByteStore::new();
+        let mut b = OpBuilder::new(&m, false);
+        b.store_u64(&mut arch, m.persistent_base() + 8, 99);
+        assert_eq!(arch.read_u64(m.persistent_base() + 8), 99);
+    }
+
+    #[test]
+    fn compute_and_barrier_helpers() {
+        let m = map();
+        let mut b = OpBuilder::new(&m, false);
+        assert!(b.is_empty());
+        b.compute(10);
+        b.persist_barrier(m.persistent_base());
+        assert_eq!(b.len(), 3);
+        let ops = b.finish();
+        assert!(matches!(ops[0], Op::Compute { cycles: 10 }));
+        assert!(matches!(ops[1], Op::Clwb { .. }));
+        assert!(matches!(ops[2], Op::Fence));
+    }
+}

@@ -1,0 +1,44 @@
+//! Persistent-memory workloads from the BBB paper (Table IV).
+//!
+//! Each workload maintains a recoverable data structure in the simulated
+//! persistent heap and drives the system simulator with back-to-back
+//! persisting stores — the paper designed them to exert *maximum pressure*
+//! on the bbPB, so they do little computation between persists.
+//!
+//! | workload     | structure                          | paper row |
+//! |--------------|------------------------------------|-----------|
+//! | `rtree`      | spatial R-tree, random inserts     | rtree     |
+//! | `ctree`      | crit-bit tree, random inserts      | ctree     |
+//! | `hashmap`    | chained hashmap, random inserts    | hashmap   |
+//! | `mutate[NC/C]` | random element mutation in array | mutate    |
+//! | `swap[NC/C]` | random element swaps in array      | swap      |
+//!
+//! `NC`/`C` = non-conflicting (per-thread array regions) vs conflicting
+//! (threads share the whole array).
+//!
+//! Every structure follows strict-persistency crash discipline: the store
+//! that publishes an operation (head pointer, parent link, bucket head) is
+//! the *last* store of the operation, so under BBB — where persist order
+//! equals program order with no flushes — any crash leaves a consistent
+//! prefix state. Per-structure checkers validate exactly that against a
+//! post-crash [`bbb_mem::NvmImage`].
+
+pub mod arrays;
+pub mod btree;
+pub mod builder;
+pub mod ctree;
+pub mod hashmap;
+pub mod linkedlist;
+pub mod palloc;
+pub mod rtree;
+pub mod suite;
+
+pub use arrays::{ArrayWorkload, ArrayOpKind, Sharing};
+pub use btree::BtreeWorkload;
+pub use builder::OpBuilder;
+pub use ctree::CtreeWorkload;
+pub use hashmap::HashmapWorkload;
+pub use linkedlist::LinkedList;
+pub use palloc::Palloc;
+pub use rtree::RtreeWorkload;
+pub use suite::{make_workload, verify_recovery, WorkloadKind, WorkloadParams};

@@ -1,0 +1,192 @@
+//! The persistent-heap allocator.
+//!
+//! The paper assumes persistent data is heap-allocated with a persistent
+//! allocator ("palloc", §III-A), so persisting stores are identified purely
+//! by the pages they touch. [`Palloc`] is a deterministic bump allocator
+//! over the persistent address range, with per-core sub-arenas so parallel
+//! workloads allocate without coordination (and without simulated-time
+//! side effects — allocation metadata is not part of the modeled traffic,
+//! matching how the paper's workloads pre-size their pools).
+
+use bbb_sim::{Addr, AddressMap};
+
+/// A bump allocator over the persistent heap, split into equal per-core
+/// arenas.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::{AddressMap, SimConfig};
+/// use bbb_workloads::Palloc;
+///
+/// let map = AddressMap::new(&SimConfig::default());
+/// let mut palloc = Palloc::new(&map, 2, 4096);
+/// let a = palloc.alloc(0, 64).unwrap();
+/// let b = palloc.alloc(0, 64).unwrap();
+/// assert_ne!(a, b);
+/// assert!(map.is_persistent(a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Palloc {
+    arenas: Vec<Arena>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Arena {
+    next: Addr,
+    end: Addr,
+}
+
+impl Palloc {
+    /// Carves the persistent heap (minus `reserved` leading bytes for
+    /// roots) into one arena per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or the reserved area exceeds the heap.
+    #[must_use]
+    pub fn new(map: &AddressMap, cores: usize, reserved: u64) -> Self {
+        assert!(cores > 0, "need at least one core");
+        let base = map.persistent_base().saturating_add(reserved);
+        let end = map.persistent_end();
+        assert!(base < end, "reserved area exceeds persistent heap");
+        let per_core = (end - base) / cores as u64;
+        let arenas = (0..cores as u64)
+            .map(|c| Arena {
+                next: base + c * per_core,
+                end: base + (c + 1) * per_core,
+            })
+            .collect();
+        Self { arenas }
+    }
+
+    /// Allocates `size` bytes in `core`'s arena, 8-byte aligned and never
+    /// straddling a cache block when `size <= 64`.
+    ///
+    /// Returns `None` when the arena is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `size == 0`.
+    pub fn alloc(&mut self, core: usize, size: u64) -> Option<Addr> {
+        assert!(size > 0, "zero-sized allocation");
+        let arena = &mut self.arenas[core];
+        let mut addr = (arena.next + 7) & !7;
+        if size <= 64 {
+            // Keep small objects inside one cache block, like a real
+            // slab-style persistent allocator would.
+            let block_off = addr % 64;
+            if block_off + size > 64 {
+                addr = (addr + 63) & !63;
+            }
+        }
+        if addr + size > arena.end {
+            return None;
+        }
+        arena.next = addr + size;
+        Some(addr)
+    }
+
+    /// Re-creates an allocator after a crash: arenas are laid out as in
+    /// [`Palloc::new`], but every arena whose range intersects
+    /// `[floor_lo, floor_hi)` starts allocating above `floor_hi` (the
+    /// recovered structure's high-water mark), so old nodes are never
+    /// reused. A real persistent allocator would recover its own metadata;
+    /// scanning the structure for its high-water mark is the classic
+    /// log-free alternative.
+    #[must_use]
+    pub fn resuming(
+        map: &AddressMap,
+        cores: usize,
+        reserved: u64,
+        high_water: Addr,
+    ) -> Self {
+        let mut p = Self::new(map, cores, reserved);
+        for arena in &mut p.arenas {
+            if arena.next <= high_water && high_water < arena.end {
+                arena.next = (high_water + 7) & !7;
+            } else if arena.end <= high_water {
+                // Entire arena below the mark: exhausted.
+                arena.next = arena.end;
+            }
+        }
+        p
+    }
+
+    /// Bytes still available in `core`'s arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn remaining(&self, core: usize) -> u64 {
+        let a = &self.arenas[core];
+        a.end.saturating_sub(a.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbb_sim::SimConfig;
+
+    fn palloc(cores: usize) -> (Palloc, AddressMap) {
+        let map = AddressMap::new(&SimConfig::small_for_tests());
+        (Palloc::new(&map, cores, 1024), map)
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let (mut p, map) = palloc(1);
+        let mut prev_end = 0;
+        for _ in 0..100 {
+            let a = p.alloc(0, 24).unwrap();
+            assert_eq!(a % 8, 0);
+            assert!(a >= prev_end, "no overlap");
+            assert!(map.is_persistent(a));
+            prev_end = a + 24;
+        }
+    }
+
+    #[test]
+    fn small_objects_stay_in_one_block() {
+        let (mut p, _) = palloc(1);
+        for _ in 0..200 {
+            let a = p.alloc(0, 24).unwrap();
+            assert_eq!(a / 64, (a + 23) / 64, "no block straddle");
+        }
+    }
+
+    #[test]
+    fn arenas_are_disjoint_across_cores() {
+        let (mut p, _) = palloc(2);
+        let a = p.alloc(0, 64).unwrap();
+        let b = p.alloc(1, 64).unwrap();
+        assert!(b >= a + p.remaining(0), "core 1 arena starts past core 0's");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let map = AddressMap::new(&SimConfig::small_for_tests());
+        let mut p = Palloc::new(&map, 2, 0);
+        let arena_size = p.remaining(0);
+        assert!(p.alloc(0, arena_size + 64).is_none());
+        // But a fitting allocation still works.
+        assert!(p.alloc(0, 64).is_some());
+    }
+
+    #[test]
+    fn reserved_area_is_untouched() {
+        let map = AddressMap::new(&SimConfig::small_for_tests());
+        let mut p = Palloc::new(&map, 1, 4096);
+        let a = p.alloc(0, 8).unwrap();
+        assert!(a >= map.persistent_base() + 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved area exceeds")]
+    fn oversized_reservation_panics() {
+        let map = AddressMap::new(&SimConfig::small_for_tests());
+        let _ = Palloc::new(&map, 1, u64::MAX);
+    }
+}

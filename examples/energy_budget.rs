@@ -1,0 +1,90 @@
+//! Battery-budget explorer: how big a battery does a design point need?
+//!
+//! Couples the running simulator to the paper's energy model: runs a
+//! workload, takes the worst-case crash-drain set the battery must cover,
+//! and prices it in joules, drain time, and battery volume for both
+//! platforms and both storage technologies — then sweeps bbPB sizes to
+//! show the cost of over-provisioning.
+//!
+//! Run with: `cargo run --release --example energy_budget`
+
+use bbb::core::{PersistencyMode, System, SystemError};
+use bbb::energy::{footprint_area_mm2, volume_mm3, BatteryTech, DrainModel, EnergyCosts, Platform};
+use bbb::sim::table::{si_energy, si_time};
+use bbb::sim::{SimConfig, Table};
+use bbb::workloads::{make_workload, WorkloadKind, WorkloadParams};
+
+fn main() -> Result<(), SystemError> {
+    // 1) What does a crash actually have to drain? Measure on the
+    //    simulated machine mid-workload.
+    let cfg = SimConfig::default();
+    let params = WorkloadParams {
+        initial: 10_000,
+        per_core_ops: 500,
+        seed: 7,
+        instrument: false,
+    };
+    let mut w = make_workload(WorkloadKind::SwapC, &cfg, params);
+    let mut sys = System::new(cfg.clone(), PersistencyMode::BbbMemorySide)?;
+    sys.prepare(w.as_mut());
+    sys.run(w.as_mut(), 2_000);
+    let cost = sys.crash_cost();
+    println!("mid-run crash-drain set on the simulated machine: {cost}");
+    println!();
+
+    // 2) Price the worst case (full buffers) with the paper's model.
+    let costs = EnergyCosts::default();
+    let mut t = Table::new(
+        "Battery budget per platform (worst case: full drain set)",
+        &[
+            "Platform",
+            "Scheme",
+            "Drain energy",
+            "Drain time",
+            "SuperCap vol (mm^3)",
+            "Li-thin vol (mm^3)",
+            "Footprint vs core",
+        ],
+    );
+    for p in [Platform::mobile(), Platform::server()] {
+        let name = p.name;
+        let core = p.core_area_mm2;
+        let model = DrainModel::new(p, costs.clone());
+        for (scheme, energy, time) in [
+            (
+                "eADR",
+                model.eadr_drain_energy_j(false),
+                model.eadr_drain_time_s(false),
+            ),
+            (
+                "BBB-32",
+                model.bbb_drain_energy_j(32),
+                model.bbb_drain_time_s(32),
+            ),
+        ] {
+            let batt = energy * costs.provisioning_factor;
+            let v_sc = volume_mm3(batt, BatteryTech::SuperCap);
+            let v_li = volume_mm3(batt, BatteryTech::LiThin);
+            t.row_owned(vec![
+                name.into(),
+                scheme.into(),
+                si_energy(energy),
+                si_time(time),
+                format!("{v_sc:.1}"),
+                format!("{v_li:.3}"),
+                format!("{:.1}%", 100.0 * footprint_area_mm2(v_sc) / core),
+            ]);
+        }
+    }
+    println!("{t}");
+
+    // 3) Sweep bbPB sizes: what does doubling the buffer cost in battery?
+    let model = DrainModel::new(Platform::mobile(), costs);
+    println!("mobile-class BBB battery (SuperCap) vs bbPB size:");
+    for entries in [8usize, 16, 32, 64, 128, 256] {
+        let v = volume_mm3(model.bbb_battery_energy_j(entries), BatteryTech::SuperCap);
+        println!("  {entries:4} entries -> {v:7.2} mm^3");
+    }
+    println!("linear in entries: performance headroom is bought with battery volume.");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Compares the four persistency machines on the same workload.
+//!
+//! Runs identical ctree insertions under PMEM (ADR + software flushes),
+//! eADR, BBB memory-side, and BBB processor-side, and reports execution
+//! time, NVMM writes, and the crash-drain footprint of each — the paper's
+//! Table I made quantitative.
+//!
+//! Run with: `cargo run --release --example persistency_models`
+
+use bbb::core::{PersistencyMode, System, SystemError};
+use bbb::sim::{SimConfig, Table};
+use bbb::workloads::{make_workload, WorkloadKind, WorkloadParams};
+
+fn main() -> Result<(), SystemError> {
+    let cfg = SimConfig::default();
+    let params = WorkloadParams {
+        initial: 20_000,
+        per_core_ops: 1_000,
+        seed: 42,
+        instrument: false, // set per mode below
+    };
+
+    let mut t = Table::new(
+        "Persistency models on ctree insertion (8 cores)",
+        &[
+            "Mode",
+            "Flushes",
+            "Cycles",
+            "NVMM writes",
+            "Crash drain (bytes)",
+            "Recoverable w/o flushes",
+        ],
+    );
+
+    for mode in PersistencyMode::ALL {
+        let mut p = params;
+        p.instrument = mode.requires_flushes();
+        let mut w = make_workload(WorkloadKind::Ctree, &cfg, p);
+        let mut sys = System::new(cfg.clone(), mode)?;
+        sys.prepare(w.as_mut());
+        let summary = sys.run(w.as_mut(), u64::MAX);
+        sys.drain_all_store_buffers();
+        let stats = sys.stats();
+        let cost = sys.crash_cost();
+
+        // "Recoverable without flushes": everything but PMEM closes the
+        // PoV/PoP gap in hardware.
+        let recoverable = if mode.requires_flushes() {
+            "no (needs clwb+sfence)"
+        } else {
+            "yes"
+        };
+        t.row_owned(vec![
+            mode.to_string(),
+            if p.instrument { "clwb+sfence" } else { "none" }.into(),
+            summary.cycles.to_string(),
+            stats.get("nvmm.writes").to_string(),
+            cost.drain_bytes().to_string(),
+            recoverable.into(),
+        ]);
+    }
+    println!("{t}");
+    println!("Note the crash-drain column: eADR must drain every dirty cache block,");
+    println!("BBB only its (at most) 32-entry-per-core persist buffers - the two to");
+    println!("three orders of magnitude the paper's battery comparison rests on.");
+    Ok(())
+}

@@ -1,0 +1,152 @@
+//! Property-based tests: random workloads, random crash points, random
+//! buffer geometries — the BBB guarantees must hold for all of them.
+
+use bbb::core::{PersistencyMode, System};
+use bbb::cpu::Op;
+use bbb::sim::{DrainPolicy, SimConfig};
+use bbb::workloads::arrays::check_array_recovery;
+use bbb::workloads::hashmap::check_hashmap_recovery;
+use bbb::workloads::{make_workload, WorkloadKind, WorkloadParams};
+use proptest::prelude::*;
+
+fn small_cfg(entries: usize, threshold_pct: u8) -> SimConfig {
+    let mut cfg = SimConfig::small_for_tests();
+    cfg.bbpb.entries = entries;
+    cfg.bbpb.drain_policy = DrainPolicy::Threshold { threshold_pct };
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sequence of aligned persisting stores, crashed after any prefix,
+    /// leaves exactly that prefix durable under BBB — for any bbPB size and
+    /// drain threshold.
+    #[test]
+    fn prefix_durability_holds_for_any_geometry(
+        entries in 1usize..16,
+        threshold in 1u8..=100,
+        slots in proptest::collection::vec(0u64..64, 1..60),
+    ) {
+        let mut sys = System::new(
+            small_cfg(entries, threshold),
+            PersistencyMode::BbbMemorySide,
+        ).unwrap();
+        let base = sys.address_map().persistent_base();
+        let ops: Vec<Op> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Op::store_u64(base + s * 8, (i as u64) << 8 | 1))
+            .collect();
+        sys.run_single_core(0, ops).unwrap();
+        let img = sys.crash_now();
+        // Each slot must hold the *last* value stored to it.
+        let mut expect = vec![0u64; 64];
+        for (i, &s) in slots.iter().enumerate() {
+            expect[s as usize] = (i as u64) << 8 | 1;
+        }
+        for (s, &e) in expect.iter().enumerate() {
+            prop_assert_eq!(img.read_u64(base + s as u64 * 8), e, "slot {}", s);
+        }
+    }
+
+    /// Random multi-core hashmap runs crashed at random op budgets always
+    /// leave a walkable, untorn image under BBB.
+    #[test]
+    fn hashmap_recovers_from_random_crash_points(
+        seed in 0u64..1000,
+        budget in 1u64..600,
+        entries in 2usize..12,
+    ) {
+        let cfg = small_cfg(entries, 75);
+        let params = WorkloadParams {
+            initial: 64,
+            per_core_ops: 200,
+            seed,
+            instrument: false,
+        };
+        let mut w = make_workload(WorkloadKind::Hashmap, &cfg, params);
+        let mut sys = System::new(cfg, PersistencyMode::BbbMemorySide).unwrap();
+        sys.prepare(w.as_mut());
+        sys.run(w.as_mut(), budget);
+        sys.check_invariants();
+        let map = sys.address_map().clone();
+        let img = sys.crash_now();
+        let buckets = (params.initial / 2).next_power_of_two().max(64);
+        let n = check_hashmap_recovery(&img, &map, map.persistent_base(), buckets)
+            .map_err(|e| TestCaseError::fail(format!("corrupt image: {e}")))?;
+        prop_assert!(n >= params.initial, "setup data lost: {}", n);
+    }
+
+    /// Random array-swap runs never tear values, under either BBB
+    /// organization.
+    #[test]
+    fn swaps_never_tear(
+        seed in 0u64..1000,
+        budget in 1u64..400,
+        procside in proptest::bool::ANY,
+    ) {
+        let cfg = small_cfg(4, 75);
+        let params = WorkloadParams {
+            initial: 64,
+            per_core_ops: 100,
+            seed,
+            instrument: false,
+        };
+        let mode = if procside {
+            PersistencyMode::BbbProcessorSide
+        } else {
+            PersistencyMode::BbbMemorySide
+        };
+        let mut w = make_workload(WorkloadKind::SwapC, &cfg, params);
+        let mut sys = System::new(cfg.clone(), mode).unwrap();
+        sys.prepare(w.as_mut());
+        sys.run(w.as_mut(), budget);
+        let img = sys.crash_now();
+        let reserve = (cfg.persistent_heap_bytes / 8).clamp(4096, 1 << 21);
+        let base = sys.address_map().persistent_base() + reserve;
+        let elements = params.initial.div_ceil(2) * 2;
+        check_array_recovery(&img, base, elements)
+            .map_err(|e| TestCaseError::fail(format!("torn value: {e}")))?;
+    }
+
+    /// eADR and BBB agree on the final durable state of a completed run
+    /// (after draining): both must equal the architectural memory.
+    #[test]
+    fn completed_runs_agree_with_architectural_memory(
+        seed in 0u64..200,
+    ) {
+        for mode in [PersistencyMode::Eadr, PersistencyMode::BbbMemorySide] {
+            let cfg = small_cfg(4, 75);
+            let params = WorkloadParams {
+                initial: 32,
+                per_core_ops: 40,
+                seed,
+                instrument: false,
+            };
+            // Single-core-generated workloads keep generation order equal
+            // to application order so the comparison is exact.
+            let mut w = make_workload(WorkloadKind::MutateNC, &cfg, params);
+            let mut sys = System::new(cfg.clone(), mode).unwrap();
+            sys.prepare(w.as_mut());
+            sys.run(w.as_mut(), u64::MAX);
+            sys.drain_all_store_buffers();
+            let reserve = (cfg.persistent_heap_bytes / 8).clamp(4096, 1 << 21);
+            let base = sys.address_map().persistent_base() + reserve;
+            let elements = params.initial.div_ceil(2) * 2;
+            let arch: Vec<u64> = (0..elements)
+                .map(|i| sys.arch_mem().read_u64(base + i * 8))
+                .collect();
+            let img = sys.crash_now();
+            for (i, &a) in arch.iter().enumerate() {
+                prop_assert_eq!(
+                    img.read_u64(base + i as u64 * 8),
+                    a,
+                    "{} element {} diverged from architectural memory",
+                    mode,
+                    i
+                );
+            }
+        }
+    }
+}
