@@ -8,7 +8,7 @@
 //! * **memory-side vs processor-side** organization (§III-B) — the write
 //!   and time costs side by side.
 
-use bbb_bench::{paper_config, run_workload, Scale};
+use bbb_bench::{paper_config, ExperimentSpec, Report, Runner, Scale};
 use bbb_core::PersistencyMode;
 use bbb_sim::{DrainPolicy, Table};
 use bbb_workloads::WorkloadKind;
@@ -16,12 +16,12 @@ use bbb_workloads::WorkloadKind;
 fn main() {
     let scale = Scale::from_env();
     let kind = WorkloadKind::Ctree;
+    let cfg = paper_config(scale);
+    let runner = Runner::from_env();
 
-    // --- Drain threshold sweep ---------------------------------------
-    let mut t = Table::new(
-        "Ablation 1: bbPB drain policy (ctree, 32 entries)",
-        &["Policy", "Cycles", "NVMM writes", "Rejections", "Coalesces"],
-    );
+    // All three ablations share one spec list so the runner can execute
+    // the whole sweep on the worker pool (and memoize the points the
+    // ablations have in common — e.g. threshold-100% IS the paper config).
     let mut policies: Vec<(String, DrainPolicy)> = [25u8, 50, 75, 100]
         .iter()
         .map(|&pct| {
@@ -32,60 +32,85 @@ fn main() {
         })
         .collect();
     policies.push(("eager".into(), DrainPolicy::Eager));
-    for (name, policy) in policies {
-        let mut cfg = paper_config(scale);
-        cfg.bbpb.drain_policy = policy;
-        let r = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
+
+    let mut specs = Vec::new();
+    for (name, policy) in &policies {
+        specs.push(
+            ExperimentSpec::new(kind, PersistencyMode::BbbMemorySide, &cfg, scale)
+                .with_drain_policy(*policy)
+                .labeled(format!("ctree/drain {name}")),
+        );
+    }
+    let suppression_at = specs.len();
+    for on in [true, false] {
+        specs.push(
+            ExperimentSpec::new(kind, PersistencyMode::BbbMemorySide, &cfg, scale)
+                .with_writeback_suppression(on)
+                .labeled(format!("ctree/suppression {on}")),
+        );
+    }
+    let organization_at = specs.len();
+    for mode in [
+        PersistencyMode::BbbMemorySide,
+        PersistencyMode::BbbProcessorSide,
+    ] {
+        specs.push(ExperimentSpec::new(kind, mode, &cfg, scale));
+    }
+    let results = runner.run(&specs);
+
+    // --- Drain threshold sweep ---------------------------------------
+    let mut t = Table::new(
+        "Ablation 1: bbPB drain policy (ctree, 32 entries)",
+        &["Policy", "Cycles", "NVMM writes", "Rejections", "Coalesces"],
+    );
+    for ((name, _), r) in policies.iter().zip(&results) {
         t.row_owned(vec![
-            name,
+            name.clone(),
             r.cycles().to_string(),
             r.nvmm_writes_steady().to_string(),
             r.stats.get("bbpb.rejections").to_string(),
             r.stats.get("bbpb.coalesces").to_string(),
         ]);
     }
-    println!("{t}");
-    println!("higher thresholds keep entries resident longer -> more coalescing,");
-    println!("fewer NVMM writes; eager draining forfeits coalescing entirely.");
-    println!();
 
     // --- Writeback suppression ---------------------------------------
-    let mut t = Table::new(
+    let mut t2 = Table::new(
         "Ablation 2: persistent-writeback suppression (ctree, BBB-32)",
         &["Suppression", "NVMM writes", "Suppressed writebacks"],
     );
-    for on in [true, false] {
-        let mut cfg = paper_config(scale);
-        cfg.suppress_persistent_writebacks = on;
-        let r = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
-        t.row_owned(vec![
+    for (j, on) in [true, false].into_iter().enumerate() {
+        let r = &results[suppression_at + j];
+        t2.row_owned(vec![
             if on { "on (paper)" } else { "off" }.into(),
             r.nvmm_writes_steady().to_string(),
             r.stats.get("cache.suppressed_writebacks").to_string(),
         ]);
     }
-    println!("{t}");
-    println!("without suppression every persistent LLC eviction writes NVMM again");
-    println!("even though the bbPB already delivered the data - pure endurance loss.");
-    println!();
 
     // --- Organization -------------------------------------------------
-    let mut t = Table::new(
+    let mut t3 = Table::new(
         "Ablation 3: bbPB organization (ctree, 32 entries)",
         &["Organization", "Cycles", "NVMM writes", "Coalesces"],
     );
-    for (name, mode) in [
-        ("memory-side (paper)", PersistencyMode::BbbMemorySide),
-        ("processor-side", PersistencyMode::BbbProcessorSide),
-    ] {
-        let cfg = paper_config(scale);
-        let r = run_workload(kind, mode, &cfg, scale);
-        t.row_owned(vec![
+    for (j, name) in ["memory-side (paper)", "processor-side"].into_iter().enumerate() {
+        let r = &results[organization_at + j];
+        t3.row_owned(vec![
             name.into(),
             r.cycles().to_string(),
             r.nvmm_writes_steady().to_string(),
             r.stats.get("bbpb.coalesces").to_string(),
         ]);
     }
-    println!("{t}");
+
+    let mut report = Report::new("ablation");
+    report.meta_scale(scale);
+    report.meta("threads", runner.threads());
+    report.table(t);
+    report.note("higher thresholds keep entries resident longer -> more coalescing,");
+    report.note("fewer NVMM writes; eager draining forfeits coalescing entirely.");
+    report.table(t2);
+    report.note("without suppression every persistent LLC eviction writes NVMM again");
+    report.note("even though the bbPB already delivered the data - pure endurance loss.");
+    report.table(t3);
+    report.emit().expect("report output");
 }

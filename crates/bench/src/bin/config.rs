@@ -1,5 +1,6 @@
 //! Prints the simulated system configuration (paper Table III).
 
+use bbb_bench::Report;
 use bbb_sim::{SimConfig, Table};
 
 fn main() {
@@ -63,5 +64,7 @@ fn main() {
             c.bbpb.entries, c.bbpb.drain_policy
         ),
     ]);
-    println!("{t}");
+    let mut report = Report::new("config");
+    report.table(t);
+    report.emit().expect("report output");
 }

@@ -2,7 +2,7 @@
 //! 32-entry bbPBs, BBB with 1024-entry bbPBs, and eADR, normalized to eADR,
 //! for every Table IV workload.
 
-use bbb_bench::{geomean, paper_config, run_workload, Scale};
+use bbb_bench::{geomean, paper_config, ExperimentSpec, Report, Runner, Scale};
 use bbb_core::PersistencyMode;
 use bbb_sim::Table;
 use bbb_workloads::WorkloadKind;
@@ -10,8 +10,26 @@ use bbb_workloads::WorkloadKind;
 fn main() {
     let scale = Scale::from_env();
     let cfg = paper_config(scale);
-    let mut cfg1024 = cfg.clone();
-    cfg1024.bbpb.entries = 1024;
+    let runner = Runner::from_env();
+
+    // Three points per workload, declared in spec order; the runner
+    // executes them across the worker pool.
+    let mut specs = Vec::new();
+    for kind in WorkloadKind::ALL {
+        specs.push(ExperimentSpec::new(kind, PersistencyMode::Eadr, &cfg, scale));
+        specs.push(ExperimentSpec::new(
+            kind,
+            PersistencyMode::BbbMemorySide,
+            &cfg,
+            scale,
+        ));
+        specs.push(
+            ExperimentSpec::new(kind, PersistencyMode::BbbMemorySide, &cfg, scale)
+                .with_entries(1024)
+                .labeled(format!("{}/BBB (1024)", kind.name())),
+        );
+    }
+    let results = runner.run(&specs);
 
     let mut time_t = Table::new(
         "Fig. 7(a): execution time normalized to eADR",
@@ -24,10 +42,8 @@ fn main() {
     let (mut times32, mut times1024) = (Vec::new(), Vec::new());
     let (mut writes32, mut writes1024) = (Vec::new(), Vec::new());
 
-    for kind in WorkloadKind::ALL {
-        let eadr = run_workload(kind, PersistencyMode::Eadr, &cfg, scale);
-        let bbb32 = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
-        let bbb1024 = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg1024, scale);
+    for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
+        let [eadr, bbb32, bbb1024] = [&results[3 * i], &results[3 * i + 1], &results[3 * i + 2]];
 
         let t32 = bbb32.cycles() as f64 / eadr.cycles() as f64;
         let t1024 = bbb1024.cycles() as f64 / eadr.cycles() as f64;
@@ -67,16 +83,15 @@ fn main() {
         "1.000".into(),
     ]);
 
-    println!("{time_t}");
-    println!("paper: BBB-32 ~1% slower than eADR on average (2.8% worst case);");
-    println!("       BBB-1024 nearly identical to eADR.");
-    println!();
-    println!("{writes_t}");
-    println!("paper: BBB-32 adds 4.9% NVMM writes on average (range 1-7.9%);");
-    println!("       BBB-1024 under 1%.");
-    println!();
-    println!(
-        "scale: initial={} per-core-ops={} (set BBB_SCALE=smoke|default|paper)",
-        scale.initial, scale.per_core_ops
-    );
+    let mut report = Report::new("fig7");
+    report.meta_scale(scale);
+    report.meta("threads", runner.threads());
+    report.table(time_t);
+    report.note("paper: BBB-32 ~1% slower than eADR on average (2.8% worst case);");
+    report.note("       BBB-1024 nearly identical to eADR.");
+    report.table(writes_t);
+    report.note("paper: BBB-32 adds 4.9% NVMM writes on average (range 1-7.9%);");
+    report.note("       BBB-1024 under 1%.");
+    report.note_scale(scale);
+    report.emit().expect("report output");
 }

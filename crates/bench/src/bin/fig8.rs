@@ -2,7 +2,7 @@
 //! Reports the workload geomean of (a) bbPB rejections, (b) execution
 //! time, and (c) bbPB drains to NVMM, each normalized to the 1-entry case.
 
-use bbb_bench::{geomean, paper_config, run_workload, Scale};
+use bbb_bench::{geomean, paper_config, ExperimentSpec, Report, Runner, Scale};
 use bbb_core::PersistencyMode;
 use bbb_sim::Table;
 use bbb_workloads::WorkloadKind;
@@ -12,17 +12,28 @@ const SIZES: [usize; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
 fn main() {
     let scale = Scale::from_env();
     let base_cfg = paper_config(scale);
+    let runner = Runner::from_env();
 
-    // metric sums per size, per workload.
+    // The full workload × size grid, one independent point each.
+    let mut specs = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for &entries in &SIZES {
+            specs.push(
+                ExperimentSpec::new(kind, PersistencyMode::BbbMemorySide, &base_cfg, scale)
+                    .with_entries(entries)
+                    .labeled(format!("{}/bbPB-{entries}", kind.name())),
+            );
+        }
+    }
+    let results = runner.run(&specs);
+
+    // metric series per size, per workload.
     let mut rejections: Vec<Vec<f64>> = vec![Vec::new(); SIZES.len()];
     let mut times: Vec<Vec<f64>> = vec![Vec::new(); SIZES.len()];
     let mut drains: Vec<Vec<f64>> = vec![Vec::new(); SIZES.len()];
-
-    for kind in WorkloadKind::ALL {
-        for (i, &entries) in SIZES.iter().enumerate() {
-            let mut cfg = base_cfg.clone();
-            cfg.bbpb.entries = entries;
-            let r = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
+    for (k, _) in WorkloadKind::ALL.iter().enumerate() {
+        for (i, _) in SIZES.iter().enumerate() {
+            let r = &results[k * SIZES.len() + i];
             rejections[i].push(r.stats.get("bbpb.rejections") as f64);
             times[i].push(r.cycles() as f64);
             drains[i].push(r.stats.get("bbpb.drains") as f64);
@@ -56,14 +67,15 @@ fn main() {
             format!("{:.4}", norm(&drains, i)),
         ]);
     }
-    println!("{t}");
-    println!("paper: rejections fall to near zero by 16-32 entries; execution time");
-    println!("       stops improving at 32; drains keep shrinking until ~64 as larger");
-    println!("       buffers capture more coalescing. 32 entries is the chosen design");
-    println!("       point (the smallest size within ~1% of eADR).");
-    println!();
-    println!(
-        "scale: initial={} per-core-ops={} (set BBB_SCALE=smoke|default|paper)",
-        scale.initial, scale.per_core_ops
-    );
+
+    let mut report = Report::new("fig8");
+    report.meta_scale(scale);
+    report.meta("threads", runner.threads());
+    report.table(t);
+    report.note("paper: rejections fall to near zero by 16-32 entries; execution time");
+    report.note("       stops improving at 32; drains keep shrinking until ~64 as larger");
+    report.note("       buffers capture more coalescing. 32 entries is the chosen design");
+    report.note("       point (the smallest size within ~1% of eADR).");
+    report.note_scale(scale);
+    report.emit().expect("report output");
 }

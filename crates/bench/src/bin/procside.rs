@@ -3,24 +3,39 @@
 //! average because per-store entries barely coalesce, while the
 //! memory-side organization stays within a few percent.
 
-use bbb_bench::{geomean, paper_config, run_workload, Scale};
+use bbb_bench::{geomean, paper_config, ExperimentSpec, Report, Runner, Scale};
 use bbb_core::PersistencyMode;
 use bbb_sim::Table;
 use bbb_workloads::WorkloadKind;
 
+const MODES: [PersistencyMode; 3] = [
+    PersistencyMode::Eadr,
+    PersistencyMode::BbbMemorySide,
+    PersistencyMode::BbbProcessorSide,
+];
+
 fn main() {
     let scale = Scale::from_env();
     let cfg = paper_config(scale);
+    let runner = Runner::from_env();
+
+    let specs: Vec<ExperimentSpec> = WorkloadKind::ALL
+        .iter()
+        .flat_map(|&kind| MODES.map(|mode| ExperimentSpec::new(kind, mode, &cfg, scale)))
+        .collect();
+    let results = runner.run(&specs);
 
     let mut t = Table::new(
         "SecV-C: NVMM writes, processor-side vs memory-side bbPB (normalized to eADR)",
         &["Workload", "Memory-side (32)", "Processor-side (32)"],
     );
     let (mut mem_ratios, mut proc_ratios) = (Vec::new(), Vec::new());
-    for kind in WorkloadKind::ALL {
-        let eadr = run_workload(kind, PersistencyMode::Eadr, &cfg, scale);
-        let memside = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
-        let procside = run_workload(kind, PersistencyMode::BbbProcessorSide, &cfg, scale);
+    for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
+        let [eadr, memside, procside] = [
+            &results[3 * i],
+            &results[3 * i + 1],
+            &results[3 * i + 2],
+        ];
         let base = eadr.nvmm_writes_steady().max(1) as f64;
         let m = memside.nvmm_writes_steady() as f64 / base;
         let p = procside.nvmm_writes_steady() as f64 / base;
@@ -37,8 +52,13 @@ fn main() {
         format!("{:.3}", geomean(&mem_ratios)),
         format!("{:.3}", geomean(&proc_ratios)),
     ]);
-    println!("{t}");
-    println!("paper: processor-side averages ~2.8x more NVMM writes than eADR,");
-    println!("       because ordered per-store entries forgo most coalescing;");
-    println!("       memory-side stays within ~5%.");
+
+    let mut report = Report::new("procside");
+    report.meta_scale(scale);
+    report.meta("threads", runner.threads());
+    report.table(t);
+    report.note("paper: processor-side averages ~2.8x more NVMM writes than eADR,");
+    report.note("       because ordered per-store entries forgo most coalescing;");
+    report.note("       memory-side stays within ~5%.");
+    report.emit().expect("report output");
 }

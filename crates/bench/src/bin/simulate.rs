@@ -3,21 +3,26 @@
 //! dump — the tool for exploring design points beyond the paper's tables.
 //!
 //! ```text
-//! usage: simulate [WORKLOAD] [MODE] [key=value ...]
+//! usage: simulate [WORKLOAD] [MODE] [key=value ...] [--json]
 //!
 //!   WORKLOAD: rtree|ctree|hashmap|mutateNC|mutateC|swapNC|swapC|btree
 //!   MODE:     pmem|eadr|bbb|procside|bep
 //!   keys:     initial=N per-core-ops=N entries=N threshold=PCT seed=N
 //!             cores=N epoch-barriers=0|1 crash-at=N
 //! ```
+//!
+//! The normal path runs through the experiment runner like every other
+//! binary; `crash-at=N` drives the [`System`] directly because the
+//! post-crash image and recovery check need the machine itself.
 
+use bbb_bench::{ExperimentSpec, Report, Runner, Scale};
 use bbb_core::{PersistencyMode, System};
 use bbb_sim::{DrainPolicy, SimConfig};
 use bbb_workloads::suite::with_epoch_barriers;
 use bbb_workloads::{make_workload, verify_recovery, WorkloadKind, WorkloadParams};
 
 fn usage() -> ! {
-    eprintln!("usage: simulate [WORKLOAD] [MODE] [key=value ...]");
+    eprintln!("usage: simulate [WORKLOAD] [MODE] [key=value ...] [--json]");
     eprintln!("  WORKLOAD: rtree|ctree|hashmap|mutateNC|mutateC|swapNC|swapC|btree");
     eprintln!("  MODE:     pmem|eadr|bbb|procside|bep");
     eprintln!("  keys:     initial=N per-core-ops=N entries=N threshold=PCT");
@@ -58,6 +63,9 @@ fn main() {
 
     let mut positional = 0;
     for arg in &args {
+        if arg == "--json" {
+            continue; // handled by Report::new
+        }
         if let Some((key, value)) = arg.split_once('=') {
             let parse = |v: &str| v.parse::<u64>().unwrap_or_else(|_| usage());
             match key {
@@ -89,35 +97,59 @@ fn main() {
     let need = (params.initial + cfg.cores as u64 * params.per_core_ops) * 512;
     cfg.persistent_heap_bytes = need.next_power_of_two().max(64 * 1024 * 1024);
 
-    println!("workload={} mode={mode} entries={}", kind.name(), cfg.bbpb.entries);
-    let mut w = make_workload(kind, &cfg, params);
-    if epoch_barriers || mode.requires_epoch_barriers() {
-        w = with_epoch_barriers(w);
-    }
-    let mut sys = System::new(cfg, mode).expect("valid config");
-    sys.prepare(w.as_mut());
+    let mut report = Report::new("simulate");
+    report.meta("workload", kind.name());
+    report.meta("mode", mode.to_string());
+    report.meta("entries", cfg.bbpb.entries);
+    report.note(format!(
+        "workload={} mode={mode} entries={}",
+        kind.name(),
+        cfg.bbpb.entries
+    ));
+
     let t0 = std::time::Instant::now();
-    let summary = sys.run(w.as_mut(), crash_at.unwrap_or(u64::MAX));
-    if crash_at.is_none() {
-        sys.drain_all_store_buffers();
-    }
-    println!(
-        "ran {} ops in {} cycles ({:?} wall); completed={}",
-        summary.ops,
-        summary.cycles,
-        t0.elapsed(),
-        summary.completed
-    );
-    println!("crash-drain set: {}", sys.crash_cost());
-    let stats = sys.stats();
-    if crash_at.is_some() {
+    let (summary, stats) = if let Some(budget) = crash_at {
+        // Crash exploration: run the machine directly so we can take the
+        // post-crash NVMM image and check recovery.
+        let mut w = make_workload(kind, &cfg, params);
+        if epoch_barriers || mode.requires_epoch_barriers() {
+            w = with_epoch_barriers(w);
+        }
+        let mut sys = System::new(cfg, mode).expect("valid config");
+        sys.prepare(w.as_mut());
+        let summary = sys.run(w.as_mut(), budget);
+        report.note(format!("crash-drain set: {}", sys.crash_cost()));
+        let stats = sys.stats();
         let cfg_for_verify = sys.config().clone();
         let img = sys.crash_now();
         match verify_recovery(kind, &img, &cfg_for_verify, params) {
-            Ok(n) => println!("post-crash verification: OK, {n} elements recovered"),
-            Err(e) => println!("post-crash verification: CORRUPT ({e})"),
+            Ok(n) => report.note(format!(
+                "post-crash verification: OK, {n} elements recovered"
+            )),
+            Err(e) => report.note(format!("post-crash verification: CORRUPT ({e})")),
         }
+        (summary, stats)
+    } else {
+        let scale = Scale {
+            initial: params.initial,
+            per_core_ops: params.per_core_ops,
+        };
+        let spec = ExperimentSpec::new(kind, mode, &cfg, scale)
+            .with_params(params)
+            .with_epoch_barriers(epoch_barriers);
+        let r = Runner::from_env().run_one(&spec);
+        (r.summary, r.stats)
+    };
+    // Wall time goes to stderr: stdout stays identical run-to-run.
+    eprintln!("wall time: {:?}", t0.elapsed());
+
+    report.note(format!(
+        "ran {} ops in {} cycles; completed={}",
+        summary.ops, summary.cycles, summary.completed
+    ));
+    report.note("");
+    for line in stats.to_string().lines() {
+        report.note(line);
     }
-    println!();
-    println!("{stats}");
+    report.emit().expect("report output");
 }

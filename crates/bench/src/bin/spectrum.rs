@@ -5,33 +5,31 @@
 //! still needs barriers and still stalls at epoch boundaries; BBB removes
 //! both and matches eADR.
 
-use bbb_bench::{geomean, paper_config, Scale};
-use bbb_core::{PersistencyMode, System};
+use bbb_bench::{geomean, paper_config, ExperimentSpec, Report, Runner, Scale};
+use bbb_core::PersistencyMode;
 use bbb_sim::Table;
-use bbb_workloads::suite::with_epoch_barriers;
-use bbb_workloads::{make_workload, WorkloadKind, WorkloadParams};
+use bbb_workloads::WorkloadKind;
 
-fn run(kind: WorkloadKind, mode: PersistencyMode, scale: Scale) -> u64 {
-    let cfg = paper_config(scale);
-    let params = WorkloadParams {
-        initial: scale.initial,
-        per_core_ops: scale.per_core_ops,
-        seed: 0xBBB_5EED,
-        instrument: mode.requires_flushes(),
-    };
-    let mut w = make_workload(kind, &cfg, params);
-    if mode.requires_epoch_barriers() {
-        w = with_epoch_barriers(w);
-    }
-    let mut sys = System::new(cfg, mode).expect("valid config");
-    sys.prepare(w.as_mut());
-    let summary = sys.run(w.as_mut(), u64::MAX);
-    sys.drain_all_store_buffers();
-    summary.cycles
-}
+const MODES: [PersistencyMode; 4] = [
+    PersistencyMode::Eadr,
+    PersistencyMode::Pmem,
+    PersistencyMode::Bep,
+    PersistencyMode::BbbMemorySide,
+];
 
 fn main() {
     let scale = Scale::from_env();
+    let cfg = paper_config(scale);
+    let runner = Runner::from_env();
+
+    // `ExperimentSpec::new` already turns on flush instrumentation and
+    // epoch barriers where the mode demands them (PMEM, BEP).
+    let specs: Vec<ExperimentSpec> = WorkloadKind::ALL
+        .iter()
+        .flat_map(|&kind| MODES.map(|mode| ExperimentSpec::new(kind, mode, &cfg, scale)))
+        .collect();
+    let results = runner.run(&specs);
+
     let mut t = Table::new(
         "Persistency spectrum: execution time normalized to eADR",
         &[
@@ -43,11 +41,11 @@ fn main() {
         ],
     );
     let (mut pmem_r, mut bep_r, mut bbb_r) = (Vec::new(), Vec::new(), Vec::new());
-    for kind in WorkloadKind::ALL {
-        let eadr = run(kind, PersistencyMode::Eadr, scale) as f64;
-        let pmem = run(kind, PersistencyMode::Pmem, scale) as f64 / eadr;
-        let bep = run(kind, PersistencyMode::Bep, scale) as f64 / eadr;
-        let bbb = run(kind, PersistencyMode::BbbMemorySide, scale) as f64 / eadr;
+    for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
+        let eadr = results[MODES.len() * i].cycles() as f64;
+        let pmem = results[MODES.len() * i + 1].cycles() as f64 / eadr;
+        let bep = results[MODES.len() * i + 2].cycles() as f64 / eadr;
+        let bbb = results[MODES.len() * i + 3].cycles() as f64 / eadr;
         pmem_r.push(pmem);
         bep_r.push(bep);
         bbb_r.push(bbb);
@@ -66,8 +64,13 @@ fn main() {
         format!("{:.3}", geomean(&bbb_r)),
         "1.000".into(),
     ]);
-    println!("{t}");
-    println!("programmability: PMEM needs clwb+sfence per persisting store; BEP needs");
-    println!("an epoch barrier per failure-atomic operation (and loses open-epoch data");
-    println!("at a crash); BBB needs nothing and loses nothing.");
+
+    let mut report = Report::new("spectrum");
+    report.meta_scale(scale);
+    report.meta("threads", runner.threads());
+    report.table(t);
+    report.note("programmability: PMEM needs clwb+sfence per persisting store; BEP needs");
+    report.note("an epoch barrier per failure-atomic operation (and loses open-epoch data");
+    report.note("at a crash); BBB needs nothing and loses nothing.");
+    report.emit().expect("report output");
 }

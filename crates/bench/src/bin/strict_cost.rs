@@ -3,24 +3,35 @@
 //! `clwb`+`sfence` after every persisting store — versus BBB providing the
 //! same guarantee in hardware with no ordering instructions at all.
 
-use bbb_bench::{geomean, paper_config, run_workload, Scale};
+use bbb_bench::{geomean, paper_config, ExperimentSpec, Report, Runner, Scale};
 use bbb_core::PersistencyMode;
 use bbb_sim::Table;
 use bbb_workloads::WorkloadKind;
 
+const MODES: [PersistencyMode; 3] = [
+    PersistencyMode::Eadr,
+    PersistencyMode::BbbMemorySide,
+    PersistencyMode::Pmem,
+];
+
 fn main() {
     let scale = Scale::from_env();
     let cfg = paper_config(scale);
+    let runner = Runner::from_env();
+
+    let specs: Vec<ExperimentSpec> = WorkloadKind::ALL
+        .iter()
+        .flat_map(|&kind| MODES.map(|mode| ExperimentSpec::new(kind, mode, &cfg, scale)))
+        .collect();
+    let results = runner.run(&specs);
 
     let mut t = Table::new(
         "Strict persistency cost: PMEM (ADR + clwb/sfence per store) vs BBB, normalized to eADR",
         &["Workload", "PMEM (software strict)", "BBB (32)", "eADR"],
     );
     let mut pmem_ratios = Vec::new();
-    for kind in WorkloadKind::ALL {
-        let eadr = run_workload(kind, PersistencyMode::Eadr, &cfg, scale);
-        let bbb = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
-        let pmem = run_workload(kind, PersistencyMode::Pmem, &cfg, scale);
+    for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
+        let [eadr, bbb, pmem] = [&results[3 * i], &results[3 * i + 1], &results[3 * i + 2]];
         let base = eadr.cycles() as f64;
         let p = pmem.cycles() as f64 / base;
         pmem_ratios.push(p);
@@ -37,8 +48,13 @@ fn main() {
         "-".into(),
         "1.000".into(),
     ]);
-    println!("{t}");
-    println!("Every PMEM store to the persistent heap pays a flush plus a fence that");
-    println!("waits out the NVMM WPQ acceptance; BBB provides the identical strict-");
-    println!("persistency guarantee at (near-)eADR speed with zero added instructions.");
+
+    let mut report = Report::new("strict_cost");
+    report.meta_scale(scale);
+    report.meta("threads", runner.threads());
+    report.table(t);
+    report.note("Every PMEM store to the persistent heap pays a flush plus a fence that");
+    report.note("waits out the NVMM WPQ acceptance; BBB provides the identical strict-");
+    report.note("persistency guarantee at (near-)eADR speed with zero added instructions.");
+    report.emit().expect("report output");
 }

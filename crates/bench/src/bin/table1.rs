@@ -1,6 +1,7 @@
 //! Prints the qualitative scheme comparison (paper Table I), backed by the
 //! modes implemented in `bbb-core`.
 
+use bbb_bench::Report;
 use bbb_core::PersistencyMode;
 use bbb_sim::Table;
 
@@ -52,20 +53,22 @@ fn main() {
         pop(PersistencyMode::Eadr),
         pop(PersistencyMode::BbbMemorySide),
     ]);
-    println!("{t}");
-    println!("* BSP (Bulk Strict Persistency) is a prior-work reference point the");
-    println!("  paper compares against qualitatively only; it is not implemented here.");
-    println!("+ BEP (buffered epoch persistency, volatile persist buffers) is from the");
-    println!("  paper's related work; this repository implements and simulates it");
-    println!("  (see the `spectrum` binary).");
-    println!();
-    println!("Modes implemented and simulated by this repository:");
+    let mut report = Report::new("table1");
+    report.table(t);
+    report.note("* BSP (Bulk Strict Persistency) is a prior-work reference point the");
+    report.note("  paper compares against qualitatively only; it is not implemented here.");
+    report.note("+ BEP (buffered epoch persistency, volatile persist buffers) is from the");
+    report.note("  paper's related work; this repository implements and simulates it");
+    report.note("  (see the `spectrum` binary).");
+    report.note("");
+    report.note("Modes implemented and simulated by this repository:");
     for m in PersistencyMode::ALL {
-        println!(
+        report.note(format!(
             "  {m}: flushes needed = {}, caches persistent = {}, bbPB = {}",
             m.requires_flushes(),
             m.caches_persistent(),
             m.has_bbpb()
-        );
+        ));
     }
+    report.emit().expect("report output");
 }

@@ -1,6 +1,7 @@
 //! Regenerates Table X: BBB battery volume as the bbPB size varies from 1
 //! to 1024 entries, for both platforms and both battery technologies.
 
+use bbb_bench::Report;
 use bbb_energy::{volume_mm3, BatteryTech, DrainModel, EnergyCosts, Platform};
 use bbb_sim::Table;
 
@@ -30,7 +31,8 @@ fn main() {
             t.row_owned(row);
         }
     }
-    println!("{t}");
+    let mut report = Report::new("table10");
+    report.table(t);
     // The paper's headline derived from this table: even a 1024-entry bbPB
     // needs a far smaller battery than eADR.
     for p in [Platform::mobile(), Platform::server()] {
@@ -38,9 +40,10 @@ fn main() {
         let model = DrainModel::new(p, EnergyCosts::default());
         let eadr = volume_mm3(model.eadr_battery_energy_j(), BatteryTech::SuperCap);
         let bbb1024 = volume_mm3(model.bbb_battery_energy_j(1024), BatteryTech::SuperCap);
-        println!(
+        report.note(format!(
             "{name}: eADR/BBB-1024 volume ratio = {:.0}x (paper: 22-49x cheaper even at 1024 entries)",
             eadr / bbb1024
-        );
+        ));
     }
+    report.emit().expect("report output");
 }

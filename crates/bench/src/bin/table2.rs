@@ -2,7 +2,7 @@
 //! the design matrix, then demonstrated live by running the conflicting
 //! workloads and showing each action's counter firing.
 
-use bbb_bench::{paper_config, run_workload, Scale};
+use bbb_bench::{paper_config, ExperimentSpec, Report, Runner, Scale};
 use bbb_core::PersistencyMode;
 use bbb_sim::Table;
 use bbb_workloads::WorkloadKind;
@@ -34,11 +34,22 @@ fn main() {
     ]);
     t.row(&["I", "N", "unmodified", "unmodified", "unmodified", "allocate"]);
     t.row(&["I", "Y", "move entry", "unmodified", "unmodified", "coalesce"]);
-    println!("{t}");
 
     // Live demonstration: the conflicting workloads exercise every row.
     let scale = Scale::from_env();
     let cfg = paper_config(scale);
+    let runner = Runner::from_env();
+    const KINDS: [WorkloadKind; 3] = [
+        WorkloadKind::SwapC,
+        WorkloadKind::MutateC,
+        WorkloadKind::Hashmap,
+    ];
+    let specs: Vec<ExperimentSpec> = KINDS
+        .iter()
+        .map(|&kind| ExperimentSpec::new(kind, PersistencyMode::BbbMemorySide, &cfg, scale))
+        .collect();
+    let results = runner.run(&specs);
+
     let mut demo = Table::new(
         "Table II in action: counters from conflicting runs (BBB memory-side)",
         &[
@@ -51,8 +62,7 @@ fn main() {
             "suppressed writebacks",
         ],
     );
-    for kind in [WorkloadKind::SwapC, WorkloadKind::MutateC, WorkloadKind::Hashmap] {
-        let r = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
+    for (kind, r) in KINDS.iter().zip(&results) {
         demo.row_owned(vec![
             kind.name().into(),
             r.stats.get("bbpb.allocations").to_string(),
@@ -63,7 +73,13 @@ fn main() {
             r.stats.get("cache.suppressed_writebacks").to_string(),
         ]);
     }
-    println!("{demo}");
-    println!("entry moves = blocks migrating between bbPBs on remote invalidations");
-    println!("(each such block still drains to NVMM only once, from its final owner).");
+
+    let mut report = Report::new("table2");
+    report.meta_scale(scale);
+    report.meta("threads", runner.threads());
+    report.table(t);
+    report.table(demo);
+    report.note("entry moves = blocks migrating between bbPBs on remote invalidations");
+    report.note("(each such block still drains to NVMM only once, from its final owner).");
+    report.emit().expect("report output");
 }

@@ -2,7 +2,7 @@
 //! persisting-store fractions (%P-Stores), compared against the paper's
 //! reported values.
 
-use bbb_bench::{paper_config, run_workload, Scale};
+use bbb_bench::{paper_config, ExperimentSpec, Report, Runner, Scale};
 use bbb_core::PersistencyMode;
 use bbb_sim::Table;
 use bbb_workloads::WorkloadKind;
@@ -10,6 +10,14 @@ use bbb_workloads::WorkloadKind;
 fn main() {
     let scale = Scale::from_env();
     let cfg = paper_config(scale);
+    let runner = Runner::from_env();
+
+    let specs: Vec<ExperimentSpec> = WorkloadKind::ALL
+        .iter()
+        .map(|&kind| ExperimentSpec::new(kind, PersistencyMode::BbbMemorySide, &cfg, scale))
+        .collect();
+    let results = runner.run(&specs);
+
     let mut t = Table::new(
         "Table IV: evaluated workloads and persisting-store fractions",
         &[
@@ -19,8 +27,7 @@ fn main() {
             "%P-Stores (paper)",
         ],
     );
-    for kind in WorkloadKind::ALL {
-        let r = run_workload(kind, PersistencyMode::BbbMemorySide, &cfg, scale);
+    for (kind, r) in WorkloadKind::ALL.iter().zip(&results) {
         let stores = r.stats.get("cores.stores");
         let pstores = r.stats.get("cores.persisting_stores");
         let committed = r.stats.get("cores.committed");
@@ -38,9 +45,11 @@ fn main() {
             format!("{:.1}%", kind.paper_pstore_pct()),
         ]);
     }
-    println!("{t}");
-    println!(
-        "scale: initial={} per-core-ops={} (set BBB_SCALE=smoke|default|paper)",
-        scale.initial, scale.per_core_ops
-    );
+
+    let mut report = Report::new("table4");
+    report.meta_scale(scale);
+    report.meta("threads", runner.threads());
+    report.table(t);
+    report.note_scale(scale);
+    report.emit().expect("report output");
 }

@@ -1,5 +1,6 @@
 //! Prints the drain-operation energy-cost constants (paper Table VI).
 
+use bbb_bench::Report;
 use bbb_energy::EnergyCosts;
 use bbb_sim::Table;
 
@@ -30,14 +31,16 @@ fn main() {
         "Moving data L3 -> NVMM".into(),
         nj(c.l3_to_nvmm_j_per_byte),
     ]);
-    println!("{t}");
-    println!(
+    let mut report = Report::new("table6");
+    report.table(t);
+    report.note(format!(
         "model parameters: dirty fraction {:.1}%, NVMM write bandwidth {:.1} GB/s per channel,",
         c.dirty_fraction * 100.0,
         c.nvmm_write_bw_per_channel / 1e9
-    );
-    println!(
+    ));
+    report.note(format!(
         "battery provisioning factor {:.2}x (back-derived from the paper's Table IX arithmetic)",
         c.provisioning_factor
-    );
+    ));
+    report.emit().expect("report output");
 }

@@ -2,6 +2,7 @@
 //! (dirty blocks only), plus the Table V platform summary the comparison
 //! rests on.
 
+use bbb_bench::Report;
 use bbb_energy::{DrainModel, EnergyCosts, Platform};
 use bbb_sim::table::{ratio, si_energy};
 use bbb_sim::Table;
@@ -31,8 +32,6 @@ fn main() {
         m.memory_channels.to_string(),
         s.memory_channels.to_string(),
     ]);
-    println!("{t5}");
-
     let mut t = Table::new(
         "Table VII: estimated draining energy, eADR vs BBB (dirty blocks only)",
         &["System", "eADR", "BBB (32-entry bbPB)", "eADR/BBB"],
@@ -49,6 +48,9 @@ fn main() {
             ratio(eadr / bbb),
         ]);
     }
-    println!("{t}");
-    println!("paper: mobile 46.5 mJ vs 145 µJ (320x); server 550 mJ vs 775 µJ (709x)");
+    let mut report = Report::new("table7");
+    report.table(t5);
+    report.table(t);
+    report.note("paper: mobile 46.5 mJ vs 145 µJ (320x); server 550 mJ vs 775 µJ (709x)");
+    report.emit().expect("report output");
 }

@@ -1,6 +1,7 @@
 //! Regenerates Table VIII: estimated draining time for BBB vs eADR
 //! (dirty blocks only).
 
+use bbb_bench::Report;
 use bbb_energy::{DrainModel, EnergyCosts, Platform};
 use bbb_sim::table::{ratio, si_time};
 use bbb_sim::Table;
@@ -22,6 +23,8 @@ fn main() {
             ratio(eadr / bbb),
         ]);
     }
-    println!("{t}");
-    println!("paper: mobile 0.8 ms vs 2.6 µs (307x); server 1.8 ms vs 2.4 µs (750x)");
+    let mut report = Report::new("table8");
+    report.table(t);
+    report.note("paper: mobile 0.8 ms vs 2.6 µs (307x); server 1.8 ms vs 2.4 µs (750x)");
+    report.emit().expect("report output");
 }

@@ -1,6 +1,7 @@
 //! Regenerates Table IX: battery volume for eADR vs BBB under two storage
 //! technologies, plus the footprint comparison against a mobile core.
 
+use bbb_bench::Report;
 use bbb_energy::{footprint_area_mm2, volume_mm3, BatteryTech, DrainModel, EnergyCosts, Platform};
 use bbb_sim::Table;
 
@@ -44,7 +45,9 @@ fn main() {
             ]);
         }
     }
-    println!("{t}");
-    println!("paper: mobile eADR 2.9e3 / 30 mm^3 (77x / 3.6x core area), BBB 4.1 / 0.04 mm^3");
-    println!("       server eADR 34e3 / 300 mm^3 (404x / 18.7x), BBB 21.6 / 0.21 mm^3");
+    let mut report = Report::new("table9");
+    report.table(t);
+    report.note("paper: mobile eADR 2.9e3 / 30 mm^3 (77x / 3.6x core area), BBB 4.1 / 0.04 mm^3");
+    report.note("       server eADR 34e3 / 300 mm^3 (404x / 18.7x), BBB 21.6 / 0.21 mm^3");
+    report.emit().expect("report output");
 }

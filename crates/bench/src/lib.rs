@@ -1,92 +1,26 @@
 //! Shared harness code for the per-table/per-figure benchmark binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper's evaluation. Simulation-backed experiments (Fig. 7, Fig. 8,
-//! Table IV, the §V-C processor-side claim) share [`run_workload`], which
-//! builds the paper's 8-core machine, prepares the workload's initial
-//! structure, runs the measured window, and returns the merged statistics.
+//! paper's evaluation. The heavy lifting lives in `bbb-runner`: binaries
+//! declare their sweep as a `Vec<ExperimentSpec>`, hand it to a
+//! [`Runner`] (parallel across `BBB_THREADS` workers, duplicate points
+//! memoized, results in spec order), and print through a [`Report`]
+//! (ASCII tables, plus `BENCH_<name>.json` when `--json` is passed).
 //!
-//! # Scale control
-//!
-//! The paper simulates 250M instructions over 1M-node structures — hours
-//! of wall-clock per point in any cycle-level simulator. Set the
-//! `BBB_SCALE` environment variable to choose fidelity:
-//!
-//! * `smoke` — seconds per figure (CI default),
-//! * `default` — a few minutes for the full set; large enough for the
-//!   paper's shapes (knees at 16–64 bbPB entries, BBB-32 within a few
-//!   percent of eADR),
-//! * `paper` — 1M-node structures, long runs.
+//! This crate re-exports the runner API so older call sites — and the
+//! muscle memory of `bbb_bench::run_workload` — keep working.
 
-use bbb_core::{PersistencyMode, RunSummary, System};
-use bbb_sim::{SimConfig, Stats};
-use bbb_workloads::{make_workload, WorkloadKind, WorkloadParams};
+pub use bbb_runner::{
+    execute_spec, geomean, json_requested, paper_config, unique_points, ExperimentSpec, Json,
+    Report, RunResult, Runner, Scale, PAPER_SEED,
+};
 
-/// Experiment sizing, selected via the `BBB_SCALE` env var.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Scale {
-    /// Structure size built at setup.
-    pub initial: u64,
-    /// Measured operations per core.
-    pub per_core_ops: u64,
-}
+use bbb_core::PersistencyMode;
+use bbb_sim::SimConfig;
+use bbb_workloads::WorkloadKind;
 
-impl Scale {
-    /// Reads `BBB_SCALE` (`smoke`, `default`, `paper`); unknown values get
-    /// the default.
-    #[must_use]
-    pub fn from_env() -> Self {
-        match std::env::var("BBB_SCALE").as_deref() {
-            Ok("smoke") => Scale {
-                initial: 20_000,
-                per_core_ops: 300,
-            },
-            Ok("paper") => Scale {
-                initial: 1_000_000,
-                per_core_ops: 8_000,
-            },
-            _ => Scale {
-                initial: 400_000,
-                per_core_ops: 2_000,
-            },
-        }
-    }
-}
-
-/// The result of one simulated experiment point.
-#[derive(Debug, Clone)]
-pub struct RunResult {
-    /// Run summary (cycles, ops).
-    pub summary: RunSummary,
-    /// Merged component statistics.
-    pub stats: Stats,
-}
-
-impl RunResult {
-    /// Execution time in cycles.
-    #[must_use]
-    pub fn cycles(&self) -> u64 {
-        self.summary.cycles
-    }
-
-    /// Writes to NVMM media (the endurance metric of Fig. 7(b)).
-    #[must_use]
-    pub fn nvmm_writes(&self) -> u64 {
-        self.stats.get("nvmm.writes")
-    }
-
-    /// Steady-state NVMM writes: media writes plus blocks still dirty in
-    /// the mode's holding structures at window end (their media write
-    /// falls just past the measured window; the paper's long 250M-
-    /// instruction windows make this end effect invisible, short windows
-    /// must add it back for a fair comparison).
-    #[must_use]
-    pub fn nvmm_writes_steady(&self) -> u64 {
-        self.stats.get("nvmm.writes") + self.stats.get("sim.residual_persist_blocks")
-    }
-}
-
-/// Runs one workload under one persistency mode on the given machine.
+/// Runs one workload under one persistency mode on the given machine
+/// (single-point convenience over [`ExperimentSpec`] + [`execute_spec`]).
 #[must_use]
 pub fn run_workload(
     kind: WorkloadKind,
@@ -94,72 +28,12 @@ pub fn run_workload(
     cfg: &SimConfig,
     scale: Scale,
 ) -> RunResult {
-    let params = WorkloadParams {
-        initial: scale.initial,
-        per_core_ops: scale.per_core_ops,
-        seed: 0xBBB_5EED,
-        instrument: mode.requires_flushes(),
-    };
-    let mut w = make_workload(kind, cfg, params);
-    let mut sys = System::new(cfg.clone(), mode).expect("valid config");
-    sys.prepare(w.as_mut());
-    let summary = sys.run(w.as_mut(), u64::MAX);
-    sys.drain_all_store_buffers();
-    RunResult {
-        summary,
-        stats: sys.stats(),
-    }
-}
-
-/// The paper's simulated machine (Table III), with a persistent heap large
-/// enough for the selected scale.
-#[must_use]
-pub fn paper_config(scale: Scale) -> SimConfig {
-    let mut cfg = SimConfig::default();
-    // Heap: generous headroom over the structure footprint.
-    let need = (scale.initial + 8 * scale.per_core_ops) * 512;
-    cfg.persistent_heap_bytes = need.next_power_of_two().max(64 * 1024 * 1024);
-    cfg
-}
-
-/// Geometric mean of a slice of ratios.
-///
-/// # Panics
-///
-/// Panics if `xs` is empty or any element is non-positive.
-#[must_use]
-pub fn geomean(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty(), "geomean of empty slice");
-    let log_sum: f64 = xs
-        .iter()
-        .map(|&x| {
-            assert!(x > 0.0, "geomean needs positive values");
-            x.ln()
-        })
-        .sum();
-    (log_sum / xs.len() as f64).exp()
+    execute_spec(&ExperimentSpec::new(kind, mode, cfg, scale))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn geomean_of_uniform_is_identity() {
-        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn geomean_mixed() {
-        let g = geomean(&[1.0, 4.0]);
-        assert!((g - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    #[should_panic(expected = "empty")]
-    fn geomean_empty_panics() {
-        let _ = geomean(&[]);
-    }
 
     #[test]
     fn smoke_scale_runs_quickly() {
@@ -177,5 +51,22 @@ mod tests {
         assert!(r.summary.ops > 0);
         assert!(r.cycles() > 0);
         assert!(r.nvmm_writes() > 0);
+    }
+
+    #[test]
+    fn run_workload_matches_spec_execution() {
+        let scale = Scale {
+            initial: 200,
+            per_core_ops: 20,
+        };
+        let cfg = paper_config(scale);
+        let direct = run_workload(WorkloadKind::SwapC, PersistencyMode::Eadr, &cfg, scale);
+        let via_runner = Runner::with_threads(2).run(&[ExperimentSpec::new(
+            WorkloadKind::SwapC,
+            PersistencyMode::Eadr,
+            &cfg,
+            scale,
+        )]);
+        assert_eq!(direct, via_runner[0]);
     }
 }

@@ -90,6 +90,15 @@ impl fmt::Debug for System {
     }
 }
 
+// Experiment points run whole `System`s on worker threads. Every component
+// is plain owned data — no `Rc`, `RefCell`, or raw pointers — and this
+// assertion keeps it that way at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<System>();
+    assert_send::<Box<dyn crate::Workload>>();
+};
+
 impl System {
     /// Builds a machine from a configuration and persistency mode.
     ///

@@ -14,7 +14,12 @@ use bbb_cpu::Op;
 /// Implementations live in `bbb-workloads` (the paper's Table IV set); the
 /// trait is defined here so the system can drive any workload without a
 /// dependency cycle.
-pub trait Workload {
+///
+/// `Send` is a supertrait: experiment points run on worker threads in the
+/// experiment runner, so a workload must be movable across threads. All
+/// implementations are plain owned data (no `Rc`/`RefCell`), which this
+/// bound now guarantees at compile time.
+pub trait Workload: Send {
     /// Short name for reports (e.g. `"rtree"`).
     fn name(&self) -> &str;
 

@@ -1,0 +1,142 @@
+//! Experiment-runner subsystem for the BBB evaluation suite.
+//!
+//! The paper's tables and figures are sweeps over *independent* simulation
+//! points (workload × persistency mode × machine configuration). This crate
+//! separates **what** an experiment sweeps from **how** it executes:
+//!
+//! * [`ExperimentSpec`] — one declarative point: workload, mode, machine
+//!   configuration, sizing, and a display label,
+//! * [`Runner`] — executes a `Vec<ExperimentSpec>` across a `std::thread`
+//!   worker pool (`BBB_THREADS` entries, default = available parallelism),
+//!   memoizes duplicate points (e.g. the eADR baselines that several
+//!   figures share), and returns results **in spec order**, so output is
+//!   byte-identical to a serial run,
+//! * [`Report`] — the shared ASCII/JSON output layer: every bench binary
+//!   renders through it, and `--json` additionally writes a
+//!   machine-readable `BENCH_<name>.json` file for the perf trajectory.
+//!
+//! Determinism is load-bearing: a simulation point is a pure function of
+//! its spec (the workload PRNG is seeded from the spec), so parallel
+//! execution, memoization, and re-runs all produce bit-identical
+//! [`Stats`](bbb_sim::Stats).
+//!
+//! # Scale control
+//!
+//! The paper simulates 250M instructions over 1M-node structures — hours
+//! of wall-clock per point in any cycle-level simulator. Set the
+//! `BBB_SCALE` environment variable to choose fidelity:
+//!
+//! * `smoke` — seconds per figure (CI default),
+//! * `default` — a few minutes for the full set; large enough for the
+//!   paper's shapes (knees at 16–64 bbPB entries, BBB-32 within a few
+//!   percent of eADR),
+//! * `paper` — 1M-node structures, long runs.
+
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use json::Json;
+pub use report::{json_requested, Report};
+pub use runner::{execute_spec, unique_points, RunResult, Runner};
+pub use spec::{ExperimentSpec, PAPER_SEED};
+
+use bbb_sim::SimConfig;
+
+/// Experiment sizing, selected via the `BBB_SCALE` env var.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Structure size built at setup.
+    pub initial: u64,
+    /// Measured operations per core.
+    pub per_core_ops: u64,
+}
+
+impl Scale {
+    /// Reads `BBB_SCALE` (`smoke`, `default`, `paper`); unknown values get
+    /// the default.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("BBB_SCALE").as_deref() {
+            Ok("smoke") => Scale {
+                initial: 20_000,
+                per_core_ops: 300,
+            },
+            Ok("paper") => Scale {
+                initial: 1_000_000,
+                per_core_ops: 8_000,
+            },
+            _ => Scale {
+                initial: 400_000,
+                per_core_ops: 2_000,
+            },
+        }
+    }
+}
+
+/// The paper's simulated machine (Table III), with a persistent heap large
+/// enough for the selected scale.
+#[must_use]
+pub fn paper_config(scale: Scale) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    // Heap: generous headroom over the structure footprint.
+    let need = (scale.initial + 8 * scale.per_core_ops) * 512;
+    cfg.persistent_heap_bytes = need.next_power_of_two().max(64 * 1024 * 1024);
+    cfg
+}
+
+/// Geometric mean of a slice of ratios.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or any element is non-positive.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean needs positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_uniform_is_identity() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_mixed() {
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_empty_panics() {
+        let _ = geomean(&[]);
+    }
+
+    #[test]
+    fn paper_config_heap_scales() {
+        let small = paper_config(Scale {
+            initial: 100,
+            per_core_ops: 10,
+        });
+        let large = paper_config(Scale {
+            initial: 1_000_000,
+            per_core_ops: 8_000,
+        });
+        assert!(small.persistent_heap_bytes >= 64 * 1024 * 1024);
+        assert!(large.persistent_heap_bytes > small.persistent_heap_bytes);
+        assert!(large.persistent_heap_bytes.is_power_of_two());
+    }
+}

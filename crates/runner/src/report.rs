@@ -1,0 +1,263 @@
+//! The shared output layer for every bench binary.
+//!
+//! A [`Report`] is an ordered sequence of ASCII tables and note lines.
+//! Every binary prints through it, and when `--json` is on the command
+//! line (or `BBB_JSON=1` is set) the same content is additionally written
+//! as machine-readable JSON to `BENCH_<name>.json` — the format the perf
+//! trajectory ingests. Table rendering happens once, so the text output
+//! is identical whether or not JSON is requested.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use bbb_sim::Table;
+
+use crate::{Json, Scale};
+
+/// True when the current process was asked for JSON output, via a
+/// `--json` argument or `BBB_JSON=1` in the environment.
+#[must_use]
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+        || std::env::var("BBB_JSON").is_ok_and(|v| v == "1")
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Table(Table),
+    Note(String),
+}
+
+/// An experiment report: tables interleaved with explanatory notes, plus
+/// metadata key/values that only appear in the JSON document.
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: String,
+    meta: Vec<(String, Json)>,
+    items: Vec<Item>,
+    json: bool,
+}
+
+impl Report {
+    /// A report named `name` (the JSON file becomes `BENCH_<name>.json`),
+    /// with JSON output decided by [`json_requested`].
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self::with_json(name, json_requested())
+    }
+
+    /// A report with JSON output explicitly on or off.
+    #[must_use]
+    pub fn with_json(name: &str, json: bool) -> Self {
+        Self {
+            name: name.to_owned(),
+            meta: Vec::new(),
+            items: Vec::new(),
+            json,
+        }
+    }
+
+    /// Attaches a metadata key/value (JSON output only).
+    pub fn meta(&mut self, key: &str, value: impl Into<Json>) {
+        self.meta.push((key.to_owned(), value.into()));
+    }
+
+    /// Records the experiment scale as metadata and as the standard
+    /// trailing note line.
+    pub fn meta_scale(&mut self, scale: Scale) {
+        self.meta("initial", scale.initial);
+        self.meta("per_core_ops", scale.per_core_ops);
+    }
+
+    /// Appends a table.
+    pub fn table(&mut self, table: Table) {
+        self.items.push(Item::Table(table));
+    }
+
+    /// Appends one note line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.items.push(Item::Note(line.into()));
+    }
+
+    /// The standard scale footer every simulation-backed binary prints.
+    pub fn note_scale(&mut self, scale: Scale) {
+        self.note(format!(
+            "scale: initial={} per-core-ops={} (set BBB_SCALE=smoke|default|paper)",
+            scale.initial, scale.per_core_ops
+        ));
+    }
+
+    /// Renders the ASCII form: each table followed by a blank line, note
+    /// blocks separated from a following table by a blank line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut prev_was_note = false;
+        for item in &self.items {
+            match item {
+                Item::Table(t) => {
+                    if prev_was_note {
+                        out.push('\n');
+                    }
+                    let _ = write!(out, "{t}");
+                    out.push('\n');
+                    prev_was_note = false;
+                }
+                Item::Note(line) => {
+                    out.push_str(line);
+                    out.push('\n');
+                    prev_was_note = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// The machine-readable document written to `BENCH_<name>.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let tables: Vec<Json> = self
+            .items
+            .iter()
+            .filter_map(|item| match item {
+                Item::Table(t) => Some(table_to_json(t)),
+                Item::Note(_) => None,
+            })
+            .collect();
+        let notes: Vec<Json> = self
+            .items
+            .iter()
+            .filter_map(|item| match item {
+                Item::Note(line) => Some(Json::from(line.as_str())),
+                Item::Table(_) => None,
+            })
+            .collect();
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("meta", Json::Obj(self.meta.clone())),
+            ("tables", Json::Arr(tables)),
+            ("notes", Json::Arr(notes)),
+        ])
+    }
+
+    /// Where the JSON document goes: `BENCH_<name>.json` in `BBB_JSON_DIR`
+    /// (default: the current directory).
+    #[must_use]
+    pub fn json_path(&self) -> PathBuf {
+        let dir = std::env::var("BBB_JSON_DIR").unwrap_or_else(|_| ".".into());
+        PathBuf::from(dir).join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Prints the ASCII report to stdout and, when JSON was requested,
+    /// writes `BENCH_<name>.json` (announced on stderr so stdout stays
+    /// diffable). A missing `BBB_JSON_DIR` is created.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the JSON file cannot be written.
+    pub fn emit(&self) -> std::io::Result<()> {
+        print!("{}", self.render_text());
+        if self.json {
+            let path = self.json_path();
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            std::fs::write(&path, format!("{}\n", self.to_json()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// Serializes a table as `{"title", "header", "rows"}` with all cells as
+/// strings (exactly what the ASCII form shows).
+#[must_use]
+pub fn table_to_json(t: &Table) -> Json {
+    Json::obj([
+        ("title", Json::from(t.title())),
+        (
+            "header",
+            Json::arr(t.header().iter().map(|h| Json::from(h.as_str()))),
+        ),
+        (
+            "rows",
+            Json::arr(t.rows().iter().map(|row| {
+                Json::arr(row.iter().map(|cell| Json::from(cell.as_str())))
+            })),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("T", &["k", "v"]);
+        t.row(&["a", "1"]);
+        t
+    }
+
+    #[test]
+    fn text_layout_interleaves_tables_and_notes() {
+        let mut r = Report::with_json("demo", false);
+        r.table(sample_table());
+        r.note("first note");
+        r.table(sample_table());
+        r.note("second note");
+        let text = r.render_text();
+        // Table, blank, note, blank, table, blank, note.
+        assert!(text.contains("| a | 1 |\n\nfirst note\n\nT\n"));
+        assert!(text.ends_with("second note\n"));
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let mut r = Report::with_json("demo", true);
+        r.meta("threads", 4usize);
+        r.table(sample_table());
+        r.note("a note");
+        let doc = r.to_json().to_string();
+        assert!(doc.contains(r#""name":"demo""#));
+        assert!(doc.contains(r#""threads":4"#));
+        assert!(doc.contains(r#""title":"T""#));
+        assert!(doc.contains(r#""rows":[["a","1"]]"#));
+        assert!(doc.contains(r#""notes":["a note"]"#));
+    }
+
+    #[test]
+    fn scale_meta_and_note() {
+        let scale = Scale {
+            initial: 7,
+            per_core_ops: 3,
+        };
+        let mut r = Report::with_json("demo", true);
+        r.meta_scale(scale);
+        r.note_scale(scale);
+        assert!(r.to_json().to_string().contains(r#""initial":7"#));
+        assert!(r.render_text().contains("scale: initial=7 per-core-ops=3"));
+    }
+
+    #[test]
+    fn json_path_uses_name() {
+        let r = Report::with_json("fig7", true);
+        assert!(r
+            .json_path()
+            .to_string_lossy()
+            .ends_with("BENCH_fig7.json"));
+    }
+
+    #[test]
+    fn emit_writes_json_file() {
+        let dir = std::env::temp_dir().join("bbb_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BBB_JSON_DIR", &dir);
+        let mut r = Report::with_json("emit_test", true);
+        r.table(sample_table());
+        r.emit().unwrap();
+        let written = std::fs::read_to_string(dir.join("BENCH_emit_test.json")).unwrap();
+        std::env::remove_var("BBB_JSON_DIR");
+        assert!(written.starts_with('{') && written.ends_with("}\n"));
+        assert!(written.contains(r#""title":"T""#));
+    }
+}

@@ -38,3 +38,12 @@ pub use port::MemoryPort;
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, Stats};
 pub use table::Table;
+
+// Experiment points run off-thread in the experiment runner: the
+// configuration crosses into workers and the stats snapshot crosses back.
+// Both are plain owned data; keep that checked at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + Clone>() {}
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<Stats>();
+};

@@ -97,10 +97,35 @@ impl Stats {
     }
 
     /// Merges another stats map into this one, summing shared keys.
+    ///
+    /// Merging is associative and commutative with [`Stats::new`] as the
+    /// identity, so per-component (or per-thread) snapshots can be
+    /// combined in any grouping — the property the parallel experiment
+    /// runner relies on.
     pub fn merge(&mut self, other: &Stats) {
         for (k, v) in &other.values {
             *self.values.entry(k.clone()).or_insert(0) += v;
         }
+    }
+
+    /// Merges a sequence of snapshots into one map (fold over
+    /// [`Stats::merge`]).
+    ///
+    /// ```
+    /// use bbb_sim::Stats;
+    /// let mut a = Stats::new();
+    /// a.set("x", 1);
+    /// let mut b = Stats::new();
+    /// b.set("x", 2);
+    /// assert_eq!(Stats::merged([a, b]).get("x"), 3);
+    /// ```
+    #[must_use]
+    pub fn merged<I: IntoIterator<Item = Stats>>(parts: I) -> Stats {
+        let mut total = Stats::new();
+        for part in parts {
+            total.merge(&part);
+        }
+        total
     }
 
     /// Iterates `(name, value)` pairs in sorted name order.
@@ -295,6 +320,67 @@ mod tests {
         assert_eq!(a.get("x"), 1);
         assert_eq!(a.get("y"), 5);
         assert_eq!(a.get("z"), 4);
+    }
+
+    fn sample(pairs: &[(&str, u64)]) -> Stats {
+        let mut s = Stats::new();
+        for &(k, v) in pairs {
+            s.set(k, v);
+        }
+        s
+    }
+
+    #[test]
+    fn merge_identity_is_empty() {
+        let a = sample(&[("x", 1), ("y", 2)]);
+        let mut left = Stats::new();
+        left.merge(&a);
+        assert_eq!(left, a, "empty ∘ a = a");
+        let mut right = a.clone();
+        right.merge(&Stats::new());
+        assert_eq!(right, a, "a ∘ empty = a");
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = sample(&[("x", 1)]);
+        let b = sample(&[("x", 2), ("y", 3)]);
+        let c = sample(&[("y", 4), ("z", 5)]);
+        // (a ∘ b) ∘ c
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        // a ∘ (b ∘ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = sample(&[("x", 1), ("y", 2)]);
+        let b = sample(&[("y", 3), ("z", 4)]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merged_folds_snapshots() {
+        let parts = [
+            sample(&[("x", 1)]),
+            sample(&[("x", 2), ("y", 1)]),
+            Stats::new(),
+        ];
+        let total = Stats::merged(parts);
+        assert_eq!(total.get("x"), 3);
+        assert_eq!(total.get("y"), 1);
+        assert_eq!(Stats::merged([]), Stats::new());
     }
 
     #[test]

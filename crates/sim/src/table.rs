@@ -63,6 +63,24 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    #[must_use]
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -42,3 +42,18 @@ pub use linkedlist::LinkedList;
 pub use palloc::Palloc;
 pub use rtree::RtreeWorkload;
 pub use suite::{make_workload, verify_recovery, WorkloadKind, WorkloadParams};
+
+// The experiment runner executes workloads on worker threads; every
+// workload (and the boxed form `make_workload` returns) must stay `Send`.
+// No `Rc`/`RefCell` exist in this crate today — these assertions make that
+// a compile-time guarantee rather than a convention.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ArrayWorkload>();
+    assert_send::<BtreeWorkload>();
+    assert_send::<CtreeWorkload>();
+    assert_send::<HashmapWorkload>();
+    assert_send::<RtreeWorkload>();
+    assert_send::<suite::EpochWorkload<ArrayWorkload>>();
+    assert_send::<Box<dyn bbb_core::Workload>>();
+};
