@@ -48,7 +48,12 @@ fn bench_bbpb() {
         // Two fresh blocks + one coalescing store, like a structure op.
         let t = i * 10;
         pb.allocate(t, BlockAddr::from_index(i % 4096), [1; 64], &mut nvmm);
-        pb.allocate(t + 1, BlockAddr::from_index(4096 + i % 64), [2; 64], &mut nvmm);
+        pb.allocate(
+            t + 1,
+            BlockAddr::from_index(4096 + i % 64),
+            [2; 64],
+            &mut nvmm,
+        );
         pb.allocate(t + 2, BlockAddr::from_index(i % 4096), [3; 64], &mut nvmm);
         i += 1;
         black_box(&pb);

@@ -92,7 +92,10 @@ fn main() {
         "Ablation 3: bbPB organization (ctree, 32 entries)",
         &["Organization", "Cycles", "NVMM writes", "Coalesces"],
     );
-    for (j, name) in ["memory-side (paper)", "processor-side"].into_iter().enumerate() {
+    for (j, name) in ["memory-side (paper)", "processor-side"]
+        .into_iter()
+        .enumerate()
+    {
         let r = &results[organization_at + j];
         t3.row_owned(vec![
             name.into(),

@@ -16,7 +16,12 @@ fn main() {
     // executes them across the worker pool.
     let mut specs = Vec::new();
     for kind in WorkloadKind::ALL {
-        specs.push(ExperimentSpec::new(kind, PersistencyMode::Eadr, &cfg, scale));
+        specs.push(ExperimentSpec::new(
+            kind,
+            PersistencyMode::Eadr,
+            &cfg,
+            scale,
+        ));
         specs.push(ExperimentSpec::new(
             kind,
             PersistencyMode::BbbMemorySide,

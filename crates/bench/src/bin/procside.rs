@@ -31,11 +31,7 @@ fn main() {
     );
     let (mut mem_ratios, mut proc_ratios) = (Vec::new(), Vec::new());
     for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
-        let [eadr, memside, procside] = [
-            &results[3 * i],
-            &results[3 * i + 1],
-            &results[3 * i + 2],
-        ];
+        let [eadr, memside, procside] = [&results[3 * i], &results[3 * i + 1], &results[3 * i + 2]];
         let base = eadr.nvmm_writes_steady().max(1) as f64;
         let m = memside.nvmm_writes_steady() as f64 / base;
         let p = procside.nvmm_writes_steady() as f64 / base;

@@ -10,9 +10,23 @@ use bbb_workloads::WorkloadKind;
 fn main() {
     let mut t = Table::new(
         "Table II: bbPB actions per coherence operation (memory-side design)",
-        &["State", "In bbPB?", "RemoteInv", "RemoteInt", "LocalRd", "LocalWr"],
+        &[
+            "State",
+            "In bbPB?",
+            "RemoteInv",
+            "RemoteInt",
+            "LocalRd",
+            "LocalWr",
+        ],
     );
-    t.row(&["M", "N", "unmodified", "unmodified", "unmodified", "allocate"]);
+    t.row(&[
+        "M",
+        "N",
+        "unmodified",
+        "unmodified",
+        "unmodified",
+        "allocate",
+    ]);
     t.row(&[
         "M",
         "Y",
@@ -21,9 +35,30 @@ fn main() {
         "unmodified",
         "coalesce",
     ]);
-    t.row(&["E", "N", "unmodified", "unmodified", "unmodified", "allocate"]);
-    t.row(&["E", "Y", "move entry", "unmodified", "unmodified", "coalesce"]);
-    t.row(&["S", "N", "unmodified", "unmodified", "unmodified", "allocate"]);
+    t.row(&[
+        "E",
+        "N",
+        "unmodified",
+        "unmodified",
+        "unmodified",
+        "allocate",
+    ]);
+    t.row(&[
+        "E",
+        "Y",
+        "move entry",
+        "unmodified",
+        "unmodified",
+        "coalesce",
+    ]);
+    t.row(&[
+        "S",
+        "N",
+        "unmodified",
+        "unmodified",
+        "unmodified",
+        "allocate",
+    ]);
     t.row(&[
         "S",
         "Y",
@@ -32,8 +67,22 @@ fn main() {
         "unmodified",
         "coalesce",
     ]);
-    t.row(&["I", "N", "unmodified", "unmodified", "unmodified", "allocate"]);
-    t.row(&["I", "Y", "move entry", "unmodified", "unmodified", "coalesce"]);
+    t.row(&[
+        "I",
+        "N",
+        "unmodified",
+        "unmodified",
+        "unmodified",
+        "allocate",
+    ]);
+    t.row(&[
+        "I",
+        "Y",
+        "move entry",
+        "unmodified",
+        "unmodified",
+        "coalesce",
+    ]);
 
     // Live demonstration: the conflicting workloads exercise every row.
     let scale = Scale::from_env();

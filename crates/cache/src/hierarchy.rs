@@ -137,7 +137,10 @@ impl CacheHierarchy {
             self.counters.interventions.inc();
             let was_m = self.l1s[owner].state_of(block) == Mesi::M;
             let data = self.l1s[owner].downgrade_to_shared(block);
-            let line = self.l2.touch(block).expect("inclusion: owner implies L2 line");
+            let line = self
+                .l2
+                .touch(block)
+                .expect("inclusion: owner implies L2 line");
             line.owner = None;
             line.add_sharer(owner);
             if was_m {
@@ -207,6 +210,7 @@ impl CacheHierarchy {
     /// # Panics
     ///
     /// Panics if `offset + bytes.len()` exceeds the block size.
+    #[allow(clippy::too_many_arguments)]
     pub fn write(
         &mut self,
         now: Cycle,
@@ -627,12 +631,7 @@ mod tests {
         fn read_block(&mut self, now: Cycle, block: BlockAddr) -> (Cycle, [u8; BLOCK_BYTES]) {
             (now + self.read_lat, self.store.read_block(block))
         }
-        fn write_block(
-            &mut self,
-            now: Cycle,
-            block: BlockAddr,
-            data: [u8; BLOCK_BYTES],
-        ) -> Cycle {
+        fn write_block(&mut self, now: Cycle, block: BlockAddr, data: [u8; BLOCK_BYTES]) -> Cycle {
             self.writes.push(block);
             self.store.write_block(block, &data);
             now + self.write_lat
@@ -805,8 +804,7 @@ mod tests {
         // Small config L2: 8 KiB / 64 = 128 blocks, 4 ways, 32 sets.
         // Blocks with the same (index % 32) collide.
         let base = pblock(&c, 0);
-        let collide =
-            |k: u64| BlockAddr::from_index(base.index() + k * 32);
+        let collide = |k: u64| BlockAddr::from_index(base.index() + k * 32);
         // Dirty the first block from core 0, then stream four more through
         // the same L2 set from core 1, forcing an LLC eviction while core
         // 0's L1 still holds the dirty line (back-invalidation required).

@@ -251,6 +251,23 @@ impl Bbpb {
             .collect()
     }
 
+    /// Drops every entry without writing anything — a crash with the
+    /// battery disconnected, where the "persist" buffer turns out to be
+    /// plain volatile SRAM. Returns the entries lost.
+    pub fn crash_discard(&mut self) -> u64 {
+        let lost = self.fifo.len() as u64;
+        self.resident.clear();
+        self.fifo.clear();
+        self.in_flight.clear();
+        lost
+    }
+
+    /// Coherence/inclusion-forced drains so far (cheap event probe).
+    #[must_use]
+    pub fn forced_drain_count(&self) -> u64 {
+        self.forced_drains.get()
+    }
+
     /// Drains everything now (flush-on-fail at a crash). Returns the number
     /// of blocks written.
     pub fn crash_drain(&mut self, now: Cycle, mem: &mut dyn MemoryPort) -> u64 {
@@ -476,6 +493,39 @@ mod tests {
         for i in 0..5 {
             assert_eq!(n.crash_image().read_block(b(i)), [i as u8; 64]);
         }
+    }
+
+    #[test]
+    fn crash_drain_of_completely_full_buffer() {
+        // Satellite coverage: crash at occupancy == capacity. Filling goes
+        // through the migration path because threshold draining would
+        // otherwise strip entries as they land.
+        let mut n = nvmm();
+        let mut p = pb(4, 100);
+        for i in 0..4 {
+            p.insert_moved(0, b(i), [i as u8 + 1; 64], &mut n);
+        }
+        assert_eq!(p.occupancy(0), p.capacity(), "buffer truly full");
+        assert_eq!(n.endurance().total_writes(), 0, "nothing drained yet");
+        let drained = p.crash_drain(50, &mut n);
+        assert_eq!(drained, 4);
+        assert_eq!(p.occupancy(50), 0);
+        for i in 0..4 {
+            assert_eq!(n.crash_image().read_block(b(i)), [i as u8 + 1; 64]);
+        }
+    }
+
+    #[test]
+    fn crash_discard_loses_everything_and_writes_nothing() {
+        let mut n = nvmm();
+        let mut p = pb(4, 100);
+        p.allocate(0, b(1), [0xAA; 64], &mut n);
+        p.allocate(0, b(2), [0xBB; 64], &mut n);
+        let lost = p.crash_discard();
+        assert_eq!(lost, 2);
+        assert_eq!(p.occupancy(0), 0);
+        assert_eq!(n.endurance().total_writes(), 0);
+        assert_eq!(n.crash_image().read_block(b(1)), [0; 64]);
     }
 
     #[test]

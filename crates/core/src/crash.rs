@@ -22,6 +22,11 @@ pub struct CrashCost {
     /// Battery-backed store-buffer entries to drain (zero when the SB is
     /// not in the persistence domain).
     pub sb_entries: u64,
+    /// Actual payload bytes of those store-buffer entries. Each store is
+    /// 1–8 bytes (`SbEntry.len`); the old flat 8-byte charge per entry
+    /// systematically inflated the Tables VII–IX energy numbers for small
+    /// stores.
+    pub sb_bytes: u64,
     /// Dirty cache blocks to drain (eADR only).
     pub dirty_cache_blocks: u64,
     /// WPQ entries still queued (every mode: ADR covers the WPQ).
@@ -29,13 +34,12 @@ pub struct CrashCost {
 }
 
 impl CrashCost {
-    /// Total bytes the battery must move to NVMM. Store-buffer entries are
-    /// conservatively charged a full doubleword each; everything else is a
-    /// 64-byte block.
+    /// Total bytes the battery must move to NVMM: a 64-byte block per
+    /// buffered block plus the exact store-buffer payload bytes.
     #[must_use]
     pub fn drain_bytes(&self) -> u64 {
         (self.bbpb_entries + self.dirty_cache_blocks + self.wpq_blocks) * BLOCK_BYTES as u64
-            + self.sb_entries * 8
+            + self.sb_bytes
     }
 
     /// Blocks drained from structures *above* the memory controller (the
@@ -50,11 +54,12 @@ impl fmt::Display for CrashCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: drain {} B (bbPB {}, SB {}, dirty cache {}, WPQ {})",
+            "{}: drain {} B (bbPB {}, SB {} = {} B, dirty cache {}, WPQ {})",
             self.mode,
             self.drain_bytes(),
             self.bbpb_entries,
             self.sb_entries,
+            self.sb_bytes,
             self.dirty_cache_blocks,
             self.wpq_blocks
         )
@@ -67,15 +72,30 @@ mod tests {
 
     #[test]
     fn byte_accounting() {
+        // Two SB entries of 4 and 8 bytes: charged 12 bytes, not 16.
         let c = CrashCost {
             mode: PersistencyMode::BbbMemorySide,
             bbpb_entries: 3,
             sb_entries: 2,
+            sb_bytes: 12,
             dirty_cache_blocks: 0,
             wpq_blocks: 1,
         };
-        assert_eq!(c.drain_bytes(), 4 * 64 + 16);
+        assert_eq!(c.drain_bytes(), 4 * 64 + 12);
         assert_eq!(c.above_mc_blocks(), 3);
+    }
+
+    #[test]
+    fn small_stores_are_not_charged_a_full_doubleword() {
+        let c = CrashCost {
+            mode: PersistencyMode::BbbMemorySide,
+            bbpb_entries: 0,
+            sb_entries: 4,
+            sb_bytes: 4, // four one-byte stores
+            dirty_cache_blocks: 0,
+            wpq_blocks: 0,
+        };
+        assert_eq!(c.drain_bytes(), 4);
     }
 
     #[test]
@@ -84,6 +104,7 @@ mod tests {
             mode: PersistencyMode::Eadr,
             bbpb_entries: 0,
             sb_entries: 0,
+            sb_bytes: 0,
             dirty_cache_blocks: 100,
             wpq_blocks: 0,
         };
@@ -97,6 +118,7 @@ mod tests {
             mode: PersistencyMode::Pmem,
             bbpb_entries: 0,
             sb_entries: 0,
+            sb_bytes: 0,
             dirty_cache_blocks: 0,
             wpq_blocks: 2,
         };

@@ -51,5 +51,5 @@ pub use memories::Memories;
 pub use mode::PersistencyMode;
 pub use persist::PersistState;
 pub use procside::ProcSidePb;
-pub use system::{RunSummary, System, SystemError};
+pub use system::{EventProbe, RunCursor, RunSummary, StopAt, System, SystemError};
 pub use workload::Workload;

@@ -13,10 +13,12 @@
 //! block in FIFO order (its entries cannot migrate without breaking store
 //! order), and never suppresses writebacks.
 
+use std::collections::HashMap;
+
 use bbb_cache::{CoherenceHooks, WritebackDecision};
 use bbb_sim::{BlockAddr, Counter, Cycle, MemoryPort, SimConfig, Stats, BLOCK_BYTES};
 
-use crate::bbpb::Bbpb;
+use crate::bbpb::{AllocOutcome, Bbpb};
 use crate::mode::PersistencyMode;
 use crate::procside::ProcSidePb;
 
@@ -27,6 +29,11 @@ pub struct PersistState {
     bbpbs: Vec<Bbpb>,
     procpbs: Vec<ProcSidePb>,
     suppress_writebacks: bool,
+    /// Last known holder per block — the O(1) fast path for
+    /// [`PersistState::holder_of`]. Entries go stale when a buffer drains
+    /// on its own (threshold drains, migrations made through `bbpb_mut`),
+    /// so a hit is always validated against the buffer before use.
+    holder_index: HashMap<BlockAddr, usize>,
     entry_moves: Counter,
     downgrades_kept: Counter,
 }
@@ -56,9 +63,30 @@ impl PersistState {
             bbpbs,
             procpbs,
             suppress_writebacks: cfg.suppress_persistent_writebacks,
+            holder_index: HashMap::new(),
             entry_moves: Counter::new(),
             downgrades_kept: Counter::new(),
         }
+    }
+
+    /// Allocates a persisting store's block into `core`'s bbPB, keeping
+    /// the holder index in sync. The system's store-drain path goes
+    /// through here rather than `bbpb_mut().allocate(..)` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`PersistState::bbpb`] does.
+    pub fn allocate_block(
+        &mut self,
+        core: usize,
+        now: Cycle,
+        block: BlockAddr,
+        data: [u8; BLOCK_BYTES],
+        mem: &mut dyn MemoryPort,
+    ) -> AllocOutcome {
+        let out = self.bbpbs[core].allocate(now, block, data, mem);
+        self.holder_index.insert(block, core);
+        out
     }
 
     /// The active persistency mode.
@@ -109,21 +137,47 @@ impl PersistState {
 
     /// The core whose bbPB currently holds `block`, if any. Invariant 4
     /// (paper §III-D) requires at most one.
+    ///
+    /// Release builds answer from the block→core index in O(1) — this is
+    /// on the hot path of every LLC eviction — falling back to a scan when
+    /// the indexed buffer no longer holds the block. Debug builds always
+    /// scan every buffer so invariant-4 violations are caught no matter
+    /// how the buffers were mutated.
     #[must_use]
     pub fn holder_of(&self, block: BlockAddr) -> Option<usize> {
-        let mut holder = None;
-        for (c, pb) in self.bbpbs.iter().enumerate() {
-            if pb.contains(block) {
-                debug_assert!(
-                    holder.is_none(),
-                    "invariant 4 violated: {block} in multiple bbPBs"
-                );
-                holder = Some(c);
-                #[cfg(not(debug_assertions))]
-                break;
+        #[cfg(debug_assertions)]
+        {
+            let mut holder = None;
+            for (c, pb) in self.bbpbs.iter().enumerate() {
+                if pb.contains(block) {
+                    assert!(
+                        holder.is_none(),
+                        "invariant 4 violated: {block} in multiple bbPBs"
+                    );
+                    holder = Some(c);
+                }
             }
+            holder
         }
-        holder
+        #[cfg(not(debug_assertions))]
+        {
+            if let Some(&c) = self.holder_index.get(&block) {
+                if self.bbpbs.get(c).is_some_and(|pb| pb.contains(block)) {
+                    return Some(c);
+                }
+            }
+            self.bbpbs.iter().position(|pb| pb.contains(block))
+        }
+    }
+
+    /// Coherence/inclusion-forced drains across memory-side buffers, plus
+    /// every ordered drain of the processor-side buffers — the drain
+    /// events a crash-point planner places boundary points around.
+    #[must_use]
+    pub fn forced_drains(&self) -> u64 {
+        let mem: u64 = self.bbpbs.iter().map(Bbpb::forced_drain_count).sum();
+        let proc: u64 = self.procpbs.iter().map(ProcSidePb::drain_count).sum();
+        mem + proc
     }
 
     /// Resident entries across all bbPBs (crash-cost accounting).
@@ -165,6 +219,7 @@ impl CoherenceHooks for PersistState {
                 if let Some(data) = self.bbpbs[victim].take_for_move(block) {
                     self.entry_moves.inc();
                     self.bbpbs[requester].insert_moved(now, block, data, mem);
+                    self.holder_index.insert(block, requester);
                     debug_assert_eq!(self.holder_of(block), Some(requester));
                 }
             }
@@ -200,6 +255,7 @@ impl CoherenceHooks for PersistState {
                 // to search bbPBs.
                 if let Some(holder) = self.holder_of(block) {
                     self.bbpbs[holder].force_drain(now, block, mem);
+                    self.holder_index.remove(&block);
                 }
                 if persistent && self.suppress_writebacks {
                     // The bbPB has or had the line: memory already holds
@@ -221,21 +277,17 @@ impl CoherenceHooks for PersistState {
         if self.mode == PersistencyMode::BbbMemorySide {
             if let Some(holder) = self.holder_of(block) {
                 self.bbpbs[holder].force_drain(now, block, mem);
+                self.holder_index.remove(&block);
             }
         }
     }
 
-    fn on_l1_evict(
-        &mut self,
-        now: Cycle,
-        block: BlockAddr,
-        core: usize,
-        mem: &mut dyn MemoryPort,
-    ) {
+    fn on_l1_evict(&mut self, now: Cycle, block: BlockAddr, core: usize, mem: &mut dyn MemoryPort) {
         // bbPB self-L1 inclusion: once the L1 copy leaves, no coherence
         // message can reach this bbPB about the block, so drain it now.
         if self.mode == PersistencyMode::BbbMemorySide && self.bbpbs[core].contains(block) {
             self.bbpbs[core].force_drain(now, block, mem);
+            self.holder_index.remove(&block);
         }
     }
 }
@@ -342,12 +394,45 @@ mod tests {
     fn procside_invalidation_drains_in_order() {
         let mut s = state(PersistencyMode::BbbProcessorSide);
         let mut n = nvmm();
-        s.procpb_mut(0).push(0, b(1), 0, &1u64.to_le_bytes(), &mut n);
-        s.procpb_mut(0).push(0, b(2), 0, &2u64.to_le_bytes(), &mut n);
+        s.procpb_mut(0)
+            .push(0, b(1), 0, &1u64.to_le_bytes(), &mut n);
+        s.procpb_mut(0)
+            .push(0, b(2), 0, &2u64.to_le_bytes(), &mut n);
         s.on_remote_invalidate(5, b(2), 0, 1, &mut n);
         // Both entries drained (FIFO through block 2).
         assert_eq!(n.endurance().total_writes(), 2);
         assert_eq!(s.total_resident_entries(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "invariant 4 violated")]
+    fn holder_of_catches_duplicate_holders_in_debug() {
+        // Two bbPBs holding the same block is exactly the invariant-4
+        // violation the debug-build exhaustive scan must still catch now
+        // that release builds answer from the index.
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        s.bbpb_mut(0).allocate(0, b(5), [1; 64], &mut n);
+        s.bbpb_mut(1).allocate(0, b(5), [2; 64], &mut n);
+        let _ = s.holder_of(b(5));
+    }
+
+    #[test]
+    fn holder_index_tracks_allocations_moves_and_drains() {
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        s.allocate_block(0, 0, b(5), [1; 64], &mut n);
+        assert_eq!(s.holder_of(b(5)), Some(0));
+        s.on_remote_invalidate(5, b(5), 0, 1, &mut n);
+        assert_eq!(s.holder_of(b(5)), Some(1));
+        s.on_llc_dirty_evict(10, b(5), &[1; 64], true, &mut n);
+        assert_eq!(s.holder_of(b(5)), None);
+        // A stale index entry (the buffer drained behind the index's back)
+        // must not resurrect the block.
+        s.allocate_block(1, 20, b(6), [2; 64], &mut n);
+        s.bbpb_mut(1).force_drain(21, b(6), &mut n);
+        assert_eq!(s.holder_of(b(6)), None);
     }
 
     #[test]

@@ -197,10 +197,7 @@ impl ProcSidePb {
         block: BlockAddr,
         mem: &mut dyn MemoryPort,
     ) -> u64 {
-        let last_idx = self
-            .entries
-            .iter()
-            .rposition(|e| e.block == block);
+        let last_idx = self.entries.iter().rposition(|e| e.block == block);
         let Some(last_idx) = last_idx else { return 0 };
         let mut n = 0;
         for _ in 0..=last_idx {
@@ -214,6 +211,12 @@ impl ProcSidePb {
     /// Buffered stores oldest-first (crash-cost accounting and tests).
     pub fn iter(&self) -> impl Iterator<Item = &StoreEntry> {
         self.entries.iter()
+    }
+
+    /// Ordered drains issued so far (cheap event probe).
+    #[must_use]
+    pub fn drain_count(&self) -> u64 {
+        self.drains.get()
     }
 
     /// Exports counters under the `bbpb.` prefix (same keys as the

@@ -69,7 +69,78 @@ pub struct RunSummary {
     pub completed: bool,
 }
 
+/// Where [`System::run_until`] should stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopAt {
+    /// Stop once this many ops (cumulative over the cursor) have committed.
+    Ops(u64),
+    /// Stop at the first op boundary where simulated time has reached this
+    /// cycle — the crash-at-cycle hook. The op that crossed the boundary
+    /// has committed, and the machine is exactly as a power failure at that
+    /// instant would find it (store buffers and persist buffers mid-flight).
+    Cycle(Cycle),
+    /// Run until every core's op stream ends.
+    End,
+}
+
+/// Resumable state of a multi-core run: the per-core op queues and
+/// liveness that [`System::run`] keeps internally. Holding it outside the
+/// call lets a driver advance one run in increments via
+/// [`System::run_until`] and, between increments, crash-test clones of the
+/// machine without replaying from cycle zero.
+#[derive(Debug, Clone)]
+pub struct RunCursor {
+    queues: Vec<VecDeque<Op>>,
+    active: Vec<bool>,
+    ops: u64,
+}
+
+impl RunCursor {
+    /// A cursor at the start of a run on an `n`-core machine.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Self {
+            queues: vec![VecDeque::new(); cores],
+            active: vec![true; cores],
+            ops: 0,
+        }
+    }
+
+    /// Ops committed so far through this cursor.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// True once every core's op stream has ended.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.active.iter().all(|&a| !a)
+    }
+}
+
+/// Monotone event counters sampled between ops — the cheap signal a
+/// crash-point planner uses to place boundary points straddling epoch
+/// barriers, forced bbPB drains, and WPQ backpressure stalls, without
+/// paying for a full [`Stats`] merge per op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventProbe {
+    /// Fences committed across all cores (epoch barriers under BEP).
+    pub fences: u64,
+    /// Persist-buffer drains forced by coherence/inclusion (memory-side),
+    /// or any ordered drain (processor-side organizations).
+    pub forced_drains: u64,
+    /// WPQ backpressure stalls at the NVMM controller.
+    pub wpq_backpressure: u64,
+}
+
 /// The simulated machine.
+///
+/// `System` is `Clone`: every component is plain owned data, so a clone is
+/// an independent machine whose future — including a destructive
+/// [`System::crash_now`] — cannot affect the original. Crash-point sweeps
+/// rely on this to fork the machine at each injection point.
+#[derive(Clone)]
 pub struct System {
     cfg: SimConfig,
     hierarchy: CacheHierarchy,
@@ -245,49 +316,69 @@ impl System {
     /// total ops have committed (`u64::MAX` for unlimited). Store buffers
     /// are pumped (not force-drained) at the end.
     pub fn run(&mut self, workload: &mut dyn Workload, op_budget: u64) -> RunSummary {
-        let n = self.cores.len();
-        let mut queues: Vec<VecDeque<Op>> = vec![VecDeque::new(); n];
-        let mut active = vec![true; n];
-        let mut ops = 0u64;
-
-        loop {
-            // Pick the active core with the smallest local clock.
-            let Some(core) = (0..n)
-                .filter(|&c| active[c])
-                .min_by_key(|&c| self.cores[c].ready_at)
-            else {
-                break;
-            };
-            if queues[core].is_empty() {
-                match workload.next_batch(core, &mut self.arch) {
-                    Some(batch) => queues[core].extend(batch),
-                    None => {
-                        active[core] = false;
-                        continue;
-                    }
-                }
-                if queues[core].is_empty() {
-                    continue;
-                }
-            }
-            let op = queues[core].pop_front().expect("non-empty queue");
-            self.step_op(core, &op);
-            ops += 1;
-            if ops >= op_budget {
-                break;
-            }
-        }
-
-        let completed = active.iter().all(|&a| !a);
+        let mut cursor = RunCursor::new(self.cores.len());
+        let summary = self.run_until(workload, &mut cursor, StopAt::Ops(op_budget));
         // Let in-progress drains finish pumping where possible.
-        for c in 0..n {
+        for c in 0..self.cores.len() {
             let t = self.cores[c].ready_at;
             self.pump_sb(c, t);
         }
         RunSummary {
             cycles: self.now_max,
-            ops,
-            completed,
+            ..summary
+        }
+    }
+
+    /// Advances a multi-threaded run until `stop` is reached or the
+    /// workload completes, updating `cursor` so a later call resumes where
+    /// this one left off. Unlike [`System::run`] nothing is pumped
+    /// afterwards — a crash injected right after it returns sees the
+    /// machine mid-flight, which is the point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor was built for a different core count.
+    pub fn run_until(
+        &mut self,
+        workload: &mut dyn Workload,
+        cursor: &mut RunCursor,
+        stop: StopAt,
+    ) -> RunSummary {
+        let n = self.cores.len();
+        assert_eq!(cursor.queues.len(), n, "cursor built for another machine");
+        loop {
+            match stop {
+                StopAt::Ops(budget) if cursor.ops >= budget => break,
+                StopAt::Cycle(at) if self.now_max >= at => break,
+                _ => {}
+            }
+            // Pick the active core with the smallest local clock.
+            let Some(core) = (0..n)
+                .filter(|&c| cursor.active[c])
+                .min_by_key(|&c| self.cores[c].ready_at)
+            else {
+                break;
+            };
+            if cursor.queues[core].is_empty() {
+                match workload.next_batch(core, &mut self.arch) {
+                    Some(batch) => cursor.queues[core].extend(batch),
+                    None => {
+                        cursor.active[core] = false;
+                        continue;
+                    }
+                }
+                if cursor.queues[core].is_empty() {
+                    continue;
+                }
+            }
+            let op = cursor.queues[core].pop_front().expect("non-empty queue");
+            self.step_op(core, &op);
+            cursor.ops += 1;
+        }
+        RunSummary {
+            cycles: self.now_max,
+            ops: cursor.ops,
+            completed: cursor.finished(),
         }
     }
 
@@ -328,9 +419,7 @@ impl System {
                 let mut t = now;
                 while self.cores[core].sb.is_full() {
                     let freed = self.drain_one_sb(core);
-                    self.cores[core]
-                        .sb_full_stalls
-                        .add(freed.saturating_sub(t));
+                    self.cores[core].sb_full_stalls.add(freed.saturating_sub(t));
                     t = t.max(freed);
                 }
                 let entry = SbEntry {
@@ -342,6 +431,14 @@ impl System {
                     committed: t,
                 };
                 self.cores[core].sb.push(entry).expect("space ensured");
+                // Architectural memory reflects *committed* stores only.
+                // Workload generators read it to plan their next ops, so
+                // writing it here (not at op-generation time) is what
+                // keeps cross-core visibility honest: a core can chain to
+                // another core's node only after the publishing store has
+                // actually committed — exactly the coherence order a real
+                // load would observe.
+                self.arch.write(addr, &bytes[..size as usize]);
                 self.cores[core].stores.inc();
                 if persistent {
                     self.cores[core].persisting_stores.inc();
@@ -353,9 +450,7 @@ impl System {
                 // the line is written back.
                 let t = self.drain_sb_all(core, now);
                 let block = BlockAddr::containing(addr);
-                let f = self
-                    .hierarchy
-                    .flush(t, core, block, &mut self.memories);
+                let f = self.hierarchy.flush(t, core, block, &mut self.memories);
                 self.cores[core].record_flush(f.persist);
                 t + 1
             }
@@ -374,6 +469,7 @@ impl System {
                 self.cores[core]
                     .fence_stall_cycles
                     .add(done.saturating_sub(now));
+                self.cores[core].fences.inc();
                 done
             }
         };
@@ -428,6 +524,47 @@ impl System {
         self.memories.crash_image()
     }
 
+    /// Injects a power failure with the battery disconnected or dead: the
+    /// contents of every battery-backed structure above the memory
+    /// controller — bbPBs or processor-side buffers, battery-backed store
+    /// buffers, eADR's cache drain — are LOST. Only the ADR'd WPQ, whose
+    /// writes are already merged into media, survives.
+    ///
+    /// This is the differential *negative* oracle for crash-consistency
+    /// checking: modes whose durability story depends on the battery must
+    /// exhibit lost updates relative to [`System::crash_now`] at the same
+    /// point, proving the recovery checkers detect real inconsistency.
+    pub fn crash_now_battery_dropped(&mut self) -> NvmImage {
+        for c in 0..self.cores.len() {
+            match self.persist.mode() {
+                PersistencyMode::BbbMemorySide => {
+                    self.persist.bbpb_mut(c).crash_discard();
+                }
+                PersistencyMode::BbbProcessorSide | PersistencyMode::Bep => {
+                    self.persist.procpb_mut(c).crash_discard();
+                }
+                PersistencyMode::Pmem | PersistencyMode::Eadr => {}
+            }
+        }
+        // Store buffers are volatile without the battery: discard, never
+        // drain — and eADR's flush-on-fail cache drain never happens.
+        for core in &mut self.cores {
+            core.sb.drain_all();
+        }
+        self.memories.crash_image()
+    }
+
+    /// Samples the monotone event counters a crash-point planner wants to
+    /// straddle (see [`EventProbe`]). Cheap enough to call between ops.
+    #[must_use]
+    pub fn probe_events(&self) -> EventProbe {
+        EventProbe {
+            fences: self.cores.iter().map(|c| c.fences.get()).sum(),
+            forced_drains: self.persist.forced_drains(),
+            wpq_backpressure: self.memories.nvmm().wpq_backpressure_events(),
+        }
+    }
+
     /// The flush-on-fail drain set if power failed right now (for the
     /// energy model), without mutating anything.
     #[must_use]
@@ -435,13 +572,18 @@ impl System {
         let mode = self.persist.mode();
         let sb_in_domain = !matches!(mode, PersistencyMode::Pmem | PersistencyMode::Bep)
             && self.cfg.battery_backed_sb;
-        let sb_entries = if sb_in_domain {
-            self.cores
-                .iter()
-                .map(|c| c.sb.iter().filter(|e| e.persistent).count() as u64)
-                .sum()
+        let (sb_entries, sb_bytes) = if sb_in_domain {
+            let mut entries = 0u64;
+            let mut bytes = 0u64;
+            for c in &self.cores {
+                for e in c.sb.iter().filter(|e| e.persistent) {
+                    entries += 1;
+                    bytes += e.len as u64;
+                }
+            }
+            (entries, bytes)
         } else {
-            0
+            (0, 0)
         };
         let dirty_cache_blocks = if mode == PersistencyMode::Eadr {
             self.hierarchy
@@ -460,6 +602,7 @@ impl System {
                 0
             },
             sb_entries,
+            sb_bytes,
             dirty_cache_blocks,
             wpq_blocks: self.memories.nvmm().wpq_occupancy(self.now_max) as u64,
         }
@@ -502,7 +645,10 @@ impl System {
             s.merge(&c.stats());
         }
         s.set("sim.cycles", self.now_max);
-        s.set("sim.residual_persist_blocks", self.residual_persist_blocks());
+        s.set(
+            "sim.residual_persist_blocks",
+            self.residual_persist_blocks(),
+        );
         s
     }
 
@@ -607,8 +753,7 @@ impl System {
                         .expect("block just written");
                     let out =
                         self.persist
-                            .bbpb_mut(core)
-                            .allocate(done, e.block, data, &mut self.memories);
+                            .allocate_block(core, done, e.block, data, &mut self.memories);
                     done = out.done.max(done);
                 }
                 PersistencyMode::BbbProcessorSide | PersistencyMode::Bep => {
@@ -630,20 +775,25 @@ impl System {
     }
 
     /// Crash path: persistent SB entries drain (in program order, after the
-    /// persist buffers) when the SB is battery backed.
-    fn crash_drain_store_buffers(&mut self, now: Cycle) {
+    /// persist buffers) when the SB is battery backed. Returns the bytes
+    /// actually moved to NVMM — each entry contributes its store length
+    /// (1–8 bytes), the same figure [`CrashCost::drain_bytes`] charges.
+    fn crash_drain_store_buffers(&mut self, now: Cycle) -> u64 {
         if !self.cfg.battery_backed_sb {
-            return;
+            return 0;
         }
+        let mut bytes = 0u64;
         for core in &mut self.cores {
             for e in core.sb.drain_all() {
                 if e.persistent {
+                    bytes += e.len as u64;
                     self.memories
                         .nvmm_mut()
                         .rmw_block(now, e.block, e.offset, &e.bytes[..e.len]);
                 }
             }
         }
+        bytes
     }
 }
 
@@ -672,20 +822,15 @@ mod tests {
     fn core_out_of_range_is_reported() {
         let mut s = sys(PersistencyMode::Eadr);
         let err = s.run_single_core(99, vec![]).unwrap_err();
-        assert_eq!(
-            err,
-            SystemError::CoreOutOfRange {
-                core: 99,
-                cores: 2
-            }
-        );
+        assert_eq!(err, SystemError::CoreOutOfRange { core: 99, cores: 2 });
     }
 
     #[test]
     fn bbb_store_is_durable_without_flushes() {
         let mut s = sys(PersistencyMode::BbbMemorySide);
         let a = pbase(&s);
-        s.run_single_core(0, vec![Op::store_u64(a, 0xFEED)]).unwrap();
+        s.run_single_core(0, vec![Op::store_u64(a, 0xFEED)])
+            .unwrap();
         let img = s.crash_now();
         assert_eq!(img.read_u64(a), 0xFEED);
     }
@@ -694,7 +839,8 @@ mod tests {
     fn pmem_store_without_flush_is_lost() {
         let mut s = sys(PersistencyMode::Pmem);
         let a = pbase(&s);
-        s.run_single_core(0, vec![Op::store_u64(a, 0xFEED)]).unwrap();
+        s.run_single_core(0, vec![Op::store_u64(a, 0xFEED)])
+            .unwrap();
         let img = s.crash_now();
         assert_eq!(img.read_u64(a), 0, "volatile caches lost the store");
     }
@@ -725,7 +871,8 @@ mod tests {
     fn procside_store_is_durable_without_flushes() {
         let mut s = sys(PersistencyMode::BbbProcessorSide);
         let a = pbase(&s);
-        s.run_single_core(0, vec![Op::store_u64(a, 0xCAFE)]).unwrap();
+        s.run_single_core(0, vec![Op::store_u64(a, 0xCAFE)])
+            .unwrap();
         let img = s.crash_now();
         assert_eq!(img.read_u64(a), 0xCAFE);
     }
@@ -734,7 +881,8 @@ mod tests {
     fn dram_stores_never_survive() {
         for mode in PersistencyMode::ALL {
             let mut s = sys(mode);
-            s.run_single_core(0, vec![Op::store_u64(0x100, 42)]).unwrap();
+            s.run_single_core(0, vec![Op::store_u64(0x100, 42)])
+                .unwrap();
             let img = s.crash_now();
             assert_eq!(img.read_u64(0x100), 0, "{mode}: DRAM data must die");
         }
@@ -766,7 +914,10 @@ mod tests {
         let a = pbase(&s) + 0x100;
         s.preload_u64(a, 0x11);
         let end = s
-            .run_single_core(0, vec![Op::load_u64(a), Op::store_u64(a, 0x22), Op::load_u64(a)])
+            .run_single_core(
+                0,
+                vec![Op::load_u64(a), Op::store_u64(a, 0x22), Op::load_u64(a)],
+            )
             .unwrap();
         assert!(end > 0);
         s.check_invariants();
@@ -796,7 +947,8 @@ mod tests {
     fn fence_without_flushes_is_cheap() {
         let mut s = sys(PersistencyMode::BbbMemorySide);
         let a = pbase(&s);
-        s.run_single_core(0, vec![Op::store_u64(a, 1), Op::Fence]).unwrap();
+        s.run_single_core(0, vec![Op::store_u64(a, 1), Op::Fence])
+            .unwrap();
         // The fence only waits for the SB drain (which here includes one
         // cold-miss fill from NVMM, ~300 cycles) — never for the
         // 1000-cycle NVMM write a PMEM-style flush would require.
@@ -870,29 +1022,46 @@ mod tests {
         let mut s = sys(PersistencyMode::BbbMemorySide);
         let a = pbase(&s);
 
+        // Arch memory reflects *committed* stores, so an unsynchronized
+        // read-increment-store from two cores is a genuine lost-update
+        // race. Serialize like real code would: a lock held from batch
+        // generation until the holder's next request (by which point its
+        // store has committed and is architecturally visible).
         struct PingPong {
             left: [u32; 2],
             addr: u64,
+            holder: Option<usize>,
         }
         impl Workload for PingPong {
             fn name(&self) -> &str {
                 "pingpong"
             }
             fn next_batch(&mut self, core: usize, arch: &mut ByteStore) -> Option<Vec<Op>> {
+                if self.holder == Some(core) {
+                    self.holder = None;
+                }
                 if self.left[core] == 0 {
                     return None;
                 }
+                if self.holder.is_some() {
+                    return Some(vec![Op::Compute { cycles: 16 }]);
+                }
+                self.holder = Some(core);
                 self.left[core] -= 1;
                 let v = arch.read_u64(self.addr) + 1;
-                arch.write_u64(self.addr, v);
                 Some(vec![Op::load_u64(self.addr), Op::store_u64(self.addr, v)])
             }
         }
 
-        let mut w = PingPong { left: [25, 25], addr: a };
+        let mut w = PingPong {
+            left: [25, 25],
+            addr: a,
+            holder: None,
+        };
         let summary = s.run(&mut w, u64::MAX);
         assert!(summary.completed);
-        assert_eq!(summary.ops, 100);
+        // 50 increment batches of 2 ops each, plus any contended spins.
+        assert!(summary.ops >= 100);
         s.check_invariants();
         s.drain_all_store_buffers();
         let img = s.crash_now();
@@ -919,6 +1088,155 @@ mod tests {
         let summary = s.run(&mut Infinite { addr: a }, 10);
         assert_eq!(summary.ops, 10);
         assert!(!summary.completed);
+    }
+
+    #[test]
+    fn run_until_in_increments_matches_one_shot_run() {
+        // The resumable path must be the same machine as `run`: advancing
+        // a cursor in cycle-bounded increments, then to completion, lands
+        // on the identical crash image and op count.
+        let mk = || {
+            let s = sys(PersistencyMode::BbbMemorySide);
+            let a = pbase(&s);
+            let ops: Vec<Op> = (0..64u64)
+                .map(|i| Op::store_u64(a + (i % 16) * 64, i))
+                .collect();
+            (s, ops)
+        };
+        struct Fixed {
+            per_core: Vec<Vec<Op>>,
+        }
+        impl Workload for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn next_batch(&mut self, core: usize, _arch: &mut ByteStore) -> Option<Vec<Op>> {
+                let ops = std::mem::take(&mut self.per_core[core]);
+                if ops.is_empty() {
+                    None
+                } else {
+                    Some(ops)
+                }
+            }
+        }
+
+        let (mut whole, ops) = mk();
+        let mut w1 = Fixed {
+            per_core: vec![ops.clone(), ops.clone()],
+        };
+        whole.run(&mut w1, u64::MAX);
+
+        let (mut stepped, ops) = mk();
+        let mut w2 = Fixed {
+            per_core: vec![ops.clone(), ops],
+        };
+        let mut cursor = RunCursor::new(2);
+        let mut at = 50;
+        loop {
+            let s = stepped.run_until(&mut w2, &mut cursor, StopAt::Cycle(at));
+            if s.completed {
+                break;
+            }
+            at += 50;
+        }
+        assert!(cursor.finished());
+        // Match `run`'s trailing pump before comparing.
+        for c in 0..2 {
+            let t = stepped.cores[c].ready_at;
+            stepped.pump_sb(c, t);
+        }
+        assert_eq!(stepped.cycle(), whole.cycle());
+        assert_eq!(cursor.ops(), 128);
+        assert_eq!(
+            stepped.crash_now().read_u64(pbase(&whole)),
+            whole.crash_now().read_u64(pbase(&whole))
+        );
+    }
+
+    #[test]
+    fn cloned_system_crashes_independently() {
+        let mut s = sys(PersistencyMode::BbbMemorySide);
+        let a = pbase(&s);
+        s.run_single_core(0, vec![Op::store_u64(a, 0x111)]).unwrap();
+        let mut fork = s.clone();
+        let img = fork.crash_now();
+        assert_eq!(img.read_u64(a), 0x111);
+        // The original keeps running as if the fork never existed.
+        s.run_single_core(0, vec![Op::store_u64(a + 8, 0x222)])
+            .unwrap();
+        let img2 = s.crash_now();
+        assert_eq!(img2.read_u64(a), 0x111);
+        assert_eq!(img2.read_u64(a + 8), 0x222);
+    }
+
+    #[test]
+    fn battery_dropped_crash_loses_buffered_stores() {
+        for mode in [
+            PersistencyMode::BbbMemorySide,
+            PersistencyMode::BbbProcessorSide,
+            PersistencyMode::Eadr,
+        ] {
+            let mut s = sys(mode);
+            let a = pbase(&s);
+            s.run_single_core(0, vec![Op::store_u64(a, 0xFEED)])
+                .unwrap();
+            let mut fork = s.clone();
+            assert_eq!(
+                fork.crash_now().read_u64(a),
+                0xFEED,
+                "{mode}: battery drains"
+            );
+            let img = s.crash_now_battery_dropped();
+            assert_eq!(
+                img.read_u64(a),
+                0,
+                "{mode}: without the battery the store dies"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_mid_wpq_backpressure_keeps_every_accepted_write() {
+        // Satellite: crash while the WPQ sits at occupancy == capacity.
+        // A tiny queue plus a store stream wide enough to outrun the media
+        // guarantees backpressure; every accepted write must still be in
+        // the crash image because the queue is inside the ADR domain.
+        let mut cfg = SimConfig::small_for_tests();
+        cfg.mem.wpq_entries = 2;
+        cfg.mem.nvmm_channels = 1;
+        let mut s = System::new(cfg, PersistencyMode::BbbMemorySide).unwrap();
+        let a = s.address_map().persistent_base();
+        let ops: Vec<Op> = (0..64u64)
+            .map(|i| Op::store_u64(a + i * 64, i + 1))
+            .collect();
+        s.run_single_core(0, ops).unwrap();
+        s.drain_all_store_buffers();
+        let probe = s.probe_events();
+        assert!(
+            probe.wpq_backpressure > 0,
+            "stream must backpressure the WPQ"
+        );
+        let img = s.crash_now();
+        for i in 0..64u64 {
+            assert_eq!(img.read_u64(a + i * 64), i + 1, "store {i}");
+        }
+    }
+
+    #[test]
+    fn probe_events_counts_fences() {
+        let mut s = sys(PersistencyMode::Pmem);
+        let a = pbase(&s);
+        s.run_single_core(
+            0,
+            vec![
+                Op::store_u64(a, 1),
+                Op::Clwb { addr: a },
+                Op::Fence,
+                Op::Fence,
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.probe_events().fences, 2);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! that simulation instant. Cores thus interleave operations in simulated-
 //! time order, and the op payloads carry real bytes into the timing model.
 
-use bbb_mem::ByteStore;
 use bbb_cpu::Op;
+use bbb_mem::ByteStore;
 
 /// A multi-threaded workload feeding the system simulator.
 ///

@@ -34,6 +34,8 @@ pub struct CoreState {
     pub sb_full_stalls: Counter,
     /// Cycles lost in fences.
     pub fence_stall_cycles: Counter,
+    /// Fences committed (epoch barriers under BEP).
+    pub fences: Counter,
 }
 
 impl CoreState {
@@ -52,6 +54,7 @@ impl CoreState {
             persisting_stores: Counter::new(),
             sb_full_stalls: Counter::new(),
             fence_stall_cycles: Counter::new(),
+            fences: Counter::new(),
         }
     }
 
@@ -82,14 +85,22 @@ impl CoreState {
         let p = format!("core{}.", self.id);
         s.set(&format!("{p}committed"), self.committed.get());
         s.set(&format!("{p}stores"), self.stores.get());
-        s.set(&format!("{p}persisting_stores"), self.persisting_stores.get());
+        s.set(
+            &format!("{p}persisting_stores"),
+            self.persisting_stores.get(),
+        );
         s.set(&format!("{p}sb_full_stalls"), self.sb_full_stalls.get());
-        s.set(&format!("{p}fence_stall_cycles"), self.fence_stall_cycles.get());
+        s.set(
+            &format!("{p}fence_stall_cycles"),
+            self.fence_stall_cycles.get(),
+        );
+        s.set(&format!("{p}fences"), self.fences.get());
         s.set("cores.committed", self.committed.get());
         s.set("cores.stores", self.stores.get());
         s.set("cores.persisting_stores", self.persisting_stores.get());
         s.set("cores.sb_full_stalls", self.sb_full_stalls.get());
         s.set("cores.fence_stall_cycles", self.fence_stall_cycles.get());
+        s.set("cores.fences", self.fences.get());
         s
     }
 }

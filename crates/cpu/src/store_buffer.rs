@@ -213,7 +213,30 @@ mod tests {
         let drained = sb.drain_all();
         assert_eq!(drained.len(), 4);
         assert!(sb.is_empty());
-        assert!(drained.windows(2).all(|w| w[0].committed < w[1].committed));
+        // Commit cycles are non-decreasing, never necessarily strictly
+        // increasing: back-to-back stores can commit in the same cycle.
+        assert!(drained.windows(2).all(|w| w[0].committed <= w[1].committed));
+        let order: Vec<u64> = drained.iter().map(|e| e.block.index()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "program order, not cycle order");
+    }
+
+    #[test]
+    fn drain_all_preserves_program_order_for_same_cycle_commits() {
+        // Two stores committing in the same cycle (a dual-issue commit or
+        // zero-latency repeat) must still drain in push order — the
+        // battery-backed crash drain applies them program-ordered, and a
+        // tie broken any other way could replay an older value on top of a
+        // newer one.
+        let mut sb = StoreBuffer::new(4);
+        for (i, committed) in [(0u64, 5u64), (1, 5), (2, 5), (3, 7)] {
+            let mut e = entry(i);
+            e.committed = committed;
+            sb.push(e).unwrap();
+        }
+        let drained = sb.drain_all();
+        assert!(drained.windows(2).all(|w| w[0].committed <= w[1].committed));
+        let order: Vec<u64> = drained.iter().map(|e| e.block.index()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
     }
 
     #[test]

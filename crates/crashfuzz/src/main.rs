@@ -1,0 +1,172 @@
+//! `crashfuzz` — sweep power failures across every (workload, mode) pair.
+//!
+//! ```text
+//! crashfuzz [--smoke] [--json] [--seed N]
+//!
+//!   --smoke   CI grid: smoke-sized workloads, ~300 planned points/pair
+//!   --json    also write BENCH_crashfuzz.json (or set BBB_JSON=1)
+//!   --seed N  random-point seed (default 0xBBB5EED)
+//! ```
+//!
+//! Exit status is non-zero when any pair fails: a consistency violation
+//! under a mode that guarantees consistency (the reproducer test is
+//! printed, shrunk), or a negative oracle that drew no blood.
+
+use bbb_core::PersistencyMode;
+use bbb_crashfuzz::{
+    lost_updates_observable, shrink, sweep, GridSpec, SweepConfig, SweepOutcome, CRASHFUZZ_SEED,
+};
+use bbb_runner::{json_requested, Report, Runner};
+use bbb_sim::{SimConfig, Table};
+use bbb_workloads::{WorkloadKind, WorkloadParams};
+
+fn usage() -> ! {
+    eprintln!("usage: crashfuzz [--smoke] [--json] [--seed N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut seed = CRASHFUZZ_SEED;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {} // consumed by json_requested()
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let cfg = SimConfig::default();
+    let params = if smoke {
+        WorkloadParams::smoke()
+    } else {
+        WorkloadParams {
+            initial: 2048,
+            per_core_ops: 256,
+            seed: 0xB0B,
+            instrument: false,
+        }
+    };
+    let grid = if smoke {
+        GridSpec {
+            seed,
+            ..GridSpec::smoke()
+        }
+    } else {
+        GridSpec::bounded(512, 128, seed)
+    };
+
+    // Every pair under the paper's discipline, plus — for workloads
+    // whose lost updates the checker can observe — the two lossy
+    // differential oracles.
+    let mut configs = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for mode in PersistencyMode::ALL {
+            configs.push(SweepConfig::paper_discipline(
+                kind, mode, &cfg, params, grid,
+            ));
+        }
+        if lost_updates_observable(kind) {
+            configs.push(SweepConfig::lossy(
+                kind,
+                PersistencyMode::Pmem,
+                &cfg,
+                params,
+                grid,
+            ));
+            configs.push(SweepConfig::lossy(
+                kind,
+                PersistencyMode::Bep,
+                &cfg,
+                params,
+                grid,
+            ));
+        }
+    }
+
+    let outcomes = Runner::from_env().map(&configs, sweep);
+
+    let mut report = Report::with_json("crashfuzz", json_requested());
+    report.meta("seed", seed);
+    report.meta("grid", if smoke { "smoke" } else { "full" });
+    report.meta("pairs", configs.len());
+    let mut table = Table::new(
+        "Crash-point sweep",
+        &[
+            "pair",
+            "points",
+            "failures",
+            "neg points",
+            "signatures",
+            "status",
+        ],
+    );
+    let mut total_points = 0usize;
+    let mut total_failures = 0usize;
+    for out in &outcomes {
+        total_points += out.points;
+        total_failures += out.failures.len();
+        table.row_owned(vec![
+            out.label.clone(),
+            out.points.to_string(),
+            out.failures.len().to_string(),
+            out.negative_points.to_string(),
+            out.negative_signatures.to_string(),
+            status(out).to_owned(),
+        ]);
+    }
+    report.table(table);
+    report.note(format!(
+        "{} pairs, {} crash points swept, {} consistency failures",
+        outcomes.len(),
+        total_points,
+        total_failures
+    ));
+    report.meta("total_points", total_points);
+    report.meta("total_failures", total_failures);
+    report.emit().expect("report written");
+
+    let mut failed = false;
+    for (cfg, out) in configs.iter().zip(&outcomes) {
+        if out.passed() {
+            continue;
+        }
+        failed = true;
+        if let Some(first) = out.failures.first() {
+            eprintln!(
+                "\n{}: {} crash point(s) failed recovery; shrinking the first…",
+                out.label,
+                out.failures.len()
+            );
+            let rep = shrink(cfg, first);
+            eprintln!(
+                "minimal reproducer (cycle {} of a {}-op run):\n\n{}\n",
+                rep.failure.cycle, rep.config.params.per_core_ops, rep.test_source
+            );
+        }
+        if out.toothless() {
+            eprintln!(
+                "\n{}: negative oracle swept {} points without one lost-update \
+                 signature — the recovery checker has no teeth here",
+                out.label, out.negative_points
+            );
+        }
+    }
+    std::process::exit(i32::from(failed));
+}
+
+fn status(out: &SweepOutcome) -> &'static str {
+    if out.passed() {
+        "ok"
+    } else if out.toothless() {
+        "TOOTHLESS"
+    } else {
+        "FAILED"
+    }
+}

@@ -1,0 +1,509 @@
+//! The crash-injection sweep engine.
+//!
+//! A sweep validates one `(workload, mode)` pair in two deterministic
+//! passes over the *same* simulated execution:
+//!
+//! 1. **Reference pass** — run the workload to completion one op at a
+//!    time, sampling [`System::probe_events`] between ops to learn the
+//!    run length and the cycles of every ordering event (epoch barriers,
+//!    forced bbPB drains, WPQ backpressure stalls).
+//! 2. **Forward crash pass** — replay the identical execution, pausing at
+//!    each planned crash cycle (ascending, so the whole pass costs one
+//!    run); at each point fork the machine with `Clone`, power-fail the
+//!    fork with [`System::crash_now`], and check the recovered image with
+//!    the workload's structure checker.
+//!
+//! For configurations whose mode *guarantees* consistency (BBB, eADR,
+//! instrumented PMEM, BEP with epoch barriers) any checker failure is a
+//! bug — it is recorded and later shrunk to a minimal reproducer. For
+//! deliberately lossy configurations (PMEM without flushes, BEP without
+//! barriers) and for battery-dropped crashes of battery-backed modes, the
+//! sweep instead *requires* lost-update signatures: a checker that never
+//! flags a machine designed to lose data has no teeth.
+
+use bbb_core::{PersistencyMode, RunCursor, StopAt, System, Workload};
+use bbb_sim::{Cycle, SimConfig};
+use bbb_workloads::suite::with_epoch_barriers;
+use bbb_workloads::{
+    make_workload, verify_recovery_report, RecoveryReport, WorkloadKind, WorkloadParams,
+};
+
+use crate::grid::{plan_points, GridSpec};
+
+/// One `(workload, mode, machine, discipline, grid)` sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Structure workload under test.
+    pub workload: WorkloadKind,
+    /// Persistency mode of the simulated machine.
+    pub mode: PersistencyMode,
+    /// Machine configuration.
+    pub cfg: SimConfig,
+    /// Workload sizing and seed.
+    pub params: WorkloadParams,
+    /// Insert an epoch barrier after every high-level operation (the
+    /// discipline BEP requires for durability).
+    pub epoch_barriers: bool,
+    /// Crash-point plan.
+    pub grid: GridSpec,
+}
+
+impl SweepConfig {
+    /// A configuration following the paper's correct programming
+    /// discipline for `mode`: `clwb`/`sfence` instrumentation under PMEM,
+    /// per-operation epoch barriers under BEP, unmodified code elsewhere.
+    /// Such a configuration must recover consistently from *every* crash
+    /// point.
+    #[must_use]
+    pub fn paper_discipline(
+        workload: WorkloadKind,
+        mode: PersistencyMode,
+        cfg: &SimConfig,
+        mut params: WorkloadParams,
+        grid: GridSpec,
+    ) -> Self {
+        params.instrument = mode.requires_flushes();
+        Self {
+            workload,
+            mode,
+            cfg: cfg.clone(),
+            params,
+            epoch_barriers: mode.requires_epoch_barriers(),
+            grid,
+        }
+    }
+
+    /// A deliberately lossy configuration: the same mode with its required
+    /// discipline *removed* (PMEM without flushes, BEP without barriers).
+    /// The sweep uses these as differential negative oracles.
+    #[must_use]
+    pub fn lossy(
+        workload: WorkloadKind,
+        mode: PersistencyMode,
+        cfg: &SimConfig,
+        mut params: WorkloadParams,
+        grid: GridSpec,
+    ) -> Self {
+        params.instrument = false;
+        Self {
+            workload,
+            mode,
+            cfg: cfg.clone(),
+            params,
+            epoch_barriers: false,
+            grid,
+        }
+    }
+
+    /// True when this configuration's mode + discipline guarantee that
+    /// every crash point recovers consistently.
+    #[must_use]
+    pub fn expects_consistent(&self) -> bool {
+        match self.mode {
+            PersistencyMode::Pmem => self.params.instrument,
+            PersistencyMode::Eadr
+            | PersistencyMode::BbbMemorySide
+            | PersistencyMode::BbbProcessorSide => true,
+            PersistencyMode::Bep => self.epoch_barriers,
+        }
+    }
+
+    /// True when the mode's durability depends on a battery above the
+    /// memory controller — exactly the modes whose battery-dropped crash
+    /// must show lost updates.
+    #[must_use]
+    pub fn battery_oracle(&self) -> bool {
+        self.mode.has_bbpb() || matches!(self.mode, PersistencyMode::Eadr)
+    }
+
+    /// Short mode tag for labels and generated test names.
+    #[must_use]
+    pub fn mode_tag(&self) -> &'static str {
+        match self.mode {
+            PersistencyMode::Pmem => "pmem",
+            PersistencyMode::Eadr => "eadr",
+            PersistencyMode::BbbMemorySide => "bbb-mem",
+            PersistencyMode::BbbProcessorSide => "bbb-proc",
+            PersistencyMode::Bep => "bep",
+        }
+    }
+
+    /// Human-readable pair label, e.g. `hashmap/bbb-mem` or
+    /// `swapC/pmem (lossy)`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let suffix = if self.expects_consistent() {
+            ""
+        } else {
+            " (lossy)"
+        };
+        format!("{}/{}{}", self.workload.name(), self.mode_tag(), suffix)
+    }
+
+    /// The same pair under the mode's correct discipline — the partner a
+    /// lossy configuration's final recovery count is compared against.
+    #[must_use]
+    pub fn consistent_twin(&self) -> Self {
+        Self::paper_discipline(self.workload, self.mode, &self.cfg, self.params, self.grid)
+    }
+}
+
+/// True when `kind`'s recovery checker can observe a lost update.
+/// Growth-tracking structures (trees, hashmap) record every successful
+/// insert in the image, so a lost one shows up as a smaller recovered
+/// count or a dangling pointer. In-place array updates (`Mutate*`,
+/// `Swap*`) are unobservable: losing one restores an older but still
+/// structurally valid value, which no integrity checker can flag. The
+/// sweep only *requires* negative-oracle signatures where they are
+/// observable.
+#[must_use]
+pub fn lost_updates_observable(kind: WorkloadKind) -> bool {
+    matches!(
+        kind,
+        WorkloadKind::Rtree | WorkloadKind::Ctree | WorkloadKind::Hashmap | WorkloadKind::Btree
+    )
+}
+
+/// What the reference pass learned about the execution.
+#[derive(Debug, Clone)]
+pub struct Reference {
+    /// Total run length in cycles.
+    pub total_cycles: Cycle,
+    /// Ops committed over the whole run.
+    pub total_ops: u64,
+    /// Cycles at which an ordering event (fence, forced drain, WPQ
+    /// backpressure stall) was first observed.
+    pub event_cycles: Vec<Cycle>,
+}
+
+fn build(cfg: &SweepConfig) -> (Box<dyn Workload>, System) {
+    let mut w = make_workload(cfg.workload, &cfg.cfg, cfg.params);
+    if cfg.epoch_barriers {
+        w = with_epoch_barriers(w);
+    }
+    let mut sys = System::new(cfg.cfg.clone(), cfg.mode).expect("valid sweep config");
+    sys.prepare(w.as_mut());
+    (w, sys)
+}
+
+/// Pass 1: runs the workload to completion op by op, recording run length
+/// and ordering-event cycles. Deterministic: the forward crash pass
+/// replays exactly this execution.
+#[must_use]
+pub fn reference_run(cfg: &SweepConfig) -> Reference {
+    let (mut w, mut sys) = build(cfg);
+    let mut cursor = RunCursor::new(cfg.cfg.cores);
+    let mut last = sys.probe_events();
+    let mut event_cycles = Vec::new();
+    loop {
+        let before = cursor.ops();
+        sys.run_until(w.as_mut(), &mut cursor, StopAt::Ops(before + 1));
+        if cursor.ops() == before {
+            break; // every core's stream ended
+        }
+        let probe = sys.probe_events();
+        if probe != last {
+            event_cycles.push(sys.cycle());
+            last = probe;
+        }
+    }
+    Reference {
+        total_cycles: sys.cycle(),
+        total_ops: cursor.ops(),
+        event_cycles,
+    }
+}
+
+/// One crash point whose recovered image failed verification.
+#[derive(Debug, Clone)]
+pub struct CrashFailure {
+    /// Crash cycle.
+    pub cycle: Cycle,
+    /// True when the failing crash was the battery-dropped variant.
+    pub battery_dropped: bool,
+    /// The checker's verdict.
+    pub report: RecoveryReport,
+}
+
+/// The result of sweeping one configuration.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Pair label (see [`SweepConfig::label`]).
+    pub label: String,
+    /// Swept workload.
+    pub workload: WorkloadKind,
+    /// Swept mode.
+    pub mode: PersistencyMode,
+    /// Whether the configuration promised consistency at every point.
+    pub expects_consistent: bool,
+    /// Whether the negative oracles are *required* to draw blood — true
+    /// only for workloads whose lost updates are observable (see
+    /// [`lost_updates_observable`]).
+    pub oracle_required: bool,
+    /// Distinct crash points swept.
+    pub points: usize,
+    /// Consistency violations (only possible when `expects_consistent`).
+    pub failures: Vec<CrashFailure>,
+    /// Crash points probed by a negative oracle (battery-dropped forks,
+    /// or every point of a lossy configuration).
+    pub negative_points: usize,
+    /// Lost-update signatures the negative oracles observed.
+    pub negative_signatures: usize,
+}
+
+impl SweepOutcome {
+    /// True when a negative oracle that *should* have seen lost updates
+    /// ran but never saw one — the recovery checker failed to flag a
+    /// machine designed to lose data.
+    #[must_use]
+    pub fn toothless(&self) -> bool {
+        self.oracle_required && self.negative_points > 0 && self.negative_signatures == 0
+    }
+
+    /// Overall verdict: no consistency violations and every negative
+    /// oracle drew blood.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && !self.toothless()
+    }
+}
+
+/// Runs the full two-pass sweep for one configuration.
+#[must_use]
+pub fn sweep(cfg: &SweepConfig) -> SweepOutcome {
+    let reference = reference_run(cfg);
+    let points = plan_points(reference.total_cycles, &reference.event_cycles, &cfg.grid);
+    let expects_consistent = cfg.expects_consistent();
+
+    let (mut w, mut sys) = build(cfg);
+    let mut cursor = RunCursor::new(cfg.cfg.cores);
+    let mut failures = Vec::new();
+    let mut negative_points = 0;
+    let mut negative_signatures = 0;
+    for &p in &points {
+        sys.run_until(w.as_mut(), &mut cursor, StopAt::Cycle(p));
+        let report = {
+            let mut crashed = sys.clone();
+            let image = crashed.crash_now();
+            verify_recovery_report(cfg.workload, &image, &cfg.cfg, cfg.params)
+        };
+        if expects_consistent {
+            if !report.ok() {
+                failures.push(CrashFailure {
+                    cycle: p,
+                    battery_dropped: false,
+                    report: report.clone(),
+                });
+            }
+        } else {
+            negative_points += 1;
+            if !report.ok() {
+                negative_signatures += 1;
+            }
+        }
+        if cfg.battery_oracle() {
+            negative_points += 1;
+            let dropped = {
+                let mut crashed = sys.clone();
+                let image = crashed.crash_now_battery_dropped();
+                verify_recovery_report(cfg.workload, &image, &cfg.cfg, cfg.params)
+            };
+            // A dead battery must lose updates relative to the healthy
+            // crash at the same cycle: either the image is torn, or fewer
+            // elements survive.
+            if !dropped.ok() || dropped.recovered < report.recovered {
+                negative_signatures += 1;
+            }
+        }
+    }
+
+    if !expects_consistent {
+        // Final differential: run the lossy machine to completion and
+        // compare its recovered count against the same pair under the
+        // mode's correct discipline. A machine that skips the required
+        // flushes/barriers must come up short (or torn).
+        negative_points += 1;
+        sys.run_until(w.as_mut(), &mut cursor, StopAt::End);
+        let lossy_final = {
+            let image = sys.crash_now();
+            verify_recovery_report(cfg.workload, &image, &cfg.cfg, cfg.params)
+        };
+        let twin_final = {
+            let twin = cfg.consistent_twin();
+            let (mut tw, mut tsys) = build(&twin);
+            let mut tcursor = RunCursor::new(twin.cfg.cores);
+            tsys.run_until(tw.as_mut(), &mut tcursor, StopAt::End);
+            let image = tsys.crash_now();
+            verify_recovery_report(twin.workload, &image, &twin.cfg, twin.params)
+        };
+        if !lossy_final.ok() || lossy_final.recovered < twin_final.recovered {
+            negative_signatures += 1;
+        }
+    }
+
+    SweepOutcome {
+        label: cfg.label(),
+        workload: cfg.workload,
+        mode: cfg.mode,
+        expects_consistent,
+        oracle_required: lost_updates_observable(cfg.workload),
+        points: points.len(),
+        failures,
+        negative_points,
+        negative_signatures,
+    }
+}
+
+/// Crashes forks of one deterministic execution at each of `points`
+/// (ascending), returning the first failing point. `battery_dropped`
+/// selects the crash variant. The shrinker's workhorse.
+#[must_use]
+pub fn first_failure_at(
+    cfg: &SweepConfig,
+    battery_dropped: bool,
+    points: &[Cycle],
+) -> Option<CrashFailure> {
+    let (mut w, mut sys) = build(cfg);
+    let mut cursor = RunCursor::new(cfg.cfg.cores);
+    for &p in points {
+        sys.run_until(w.as_mut(), &mut cursor, StopAt::Cycle(p));
+        let mut crashed = sys.clone();
+        let image = if battery_dropped {
+            crashed.crash_now_battery_dropped()
+        } else {
+            crashed.crash_now()
+        };
+        let report = verify_recovery_report(cfg.workload, &image, &cfg.cfg, cfg.params);
+        if !report.ok() {
+            return Some(CrashFailure {
+                cycle: p,
+                battery_dropped,
+                report,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::CRASHFUZZ_SEED;
+
+    fn small() -> (SimConfig, WorkloadParams) {
+        (SimConfig::small_for_tests(), WorkloadParams::smoke())
+    }
+
+    #[test]
+    fn reference_pass_sees_the_whole_run() {
+        let (cfg, params) = small();
+        let sc = SweepConfig::paper_discipline(
+            WorkloadKind::Hashmap,
+            PersistencyMode::BbbMemorySide,
+            &cfg,
+            params,
+            GridSpec::bounded(16, 4, CRASHFUZZ_SEED),
+        );
+        let r = reference_run(&sc);
+        assert!(r.total_cycles > 0);
+        assert!(r.total_ops > 0);
+        // The reference pass is deterministic.
+        let r2 = reference_run(&sc);
+        assert_eq!(r.total_cycles, r2.total_cycles);
+        assert_eq!(r.total_ops, r2.total_ops);
+        assert_eq!(r.event_cycles, r2.event_cycles);
+    }
+
+    #[test]
+    fn bbb_sweep_has_no_failures_and_battery_oracle_bites() {
+        let (cfg, params) = small();
+        let sc = SweepConfig::paper_discipline(
+            WorkloadKind::Hashmap,
+            PersistencyMode::BbbMemorySide,
+            &cfg,
+            params,
+            GridSpec::bounded(48, 16, CRASHFUZZ_SEED),
+        );
+        let out = sweep(&sc);
+        assert!(out.expects_consistent);
+        assert!(
+            out.failures.is_empty(),
+            "BBB must survive every crash point"
+        );
+        assert!(
+            out.negative_signatures > 0,
+            "dead battery must lose updates"
+        );
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn lossy_pmem_sweep_shows_lost_updates() {
+        let (cfg, params) = small();
+        let sc = SweepConfig::lossy(
+            WorkloadKind::Hashmap,
+            PersistencyMode::Pmem,
+            &cfg,
+            params,
+            GridSpec::bounded(32, 8, CRASHFUZZ_SEED),
+        );
+        let out = sweep(&sc);
+        assert!(!out.expects_consistent);
+        assert!(out.failures.is_empty(), "lossy configs record no failures");
+        assert!(!out.toothless(), "unflushed PMEM must exhibit a signature");
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn array_workloads_do_not_require_oracle_signatures() {
+        // In-place array updates, when lost, restore older but still
+        // structurally valid values, so the checkers cannot observe them;
+        // the sweep must not demand signatures there.
+        assert!(!lost_updates_observable(WorkloadKind::SwapC));
+        assert!(lost_updates_observable(WorkloadKind::Hashmap));
+        let (cfg, params) = small();
+        let sc = SweepConfig::paper_discipline(
+            WorkloadKind::SwapC,
+            PersistencyMode::Eadr,
+            &cfg,
+            params,
+            GridSpec::bounded(16, 4, CRASHFUZZ_SEED),
+        );
+        let out = sweep(&sc);
+        assert!(!out.oracle_required);
+        assert!(!out.toothless());
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn paper_discipline_sets_mode_requirements() {
+        let (cfg, params) = small();
+        let pmem = SweepConfig::paper_discipline(
+            WorkloadKind::Ctree,
+            PersistencyMode::Pmem,
+            &cfg,
+            params,
+            GridSpec::smoke(),
+        );
+        assert!(pmem.params.instrument && !pmem.epoch_barriers);
+        assert!(pmem.expects_consistent());
+        let bep = SweepConfig::paper_discipline(
+            WorkloadKind::Ctree,
+            PersistencyMode::Bep,
+            &cfg,
+            params,
+            GridSpec::smoke(),
+        );
+        assert!(bep.epoch_barriers && !bep.params.instrument);
+        assert!(bep.expects_consistent());
+        let lossy = SweepConfig::lossy(
+            WorkloadKind::Ctree,
+            PersistencyMode::Bep,
+            &cfg,
+            params,
+            GridSpec::smoke(),
+        );
+        assert!(!lossy.expects_consistent());
+        assert_eq!(lossy.consistent_twin().label(), bep.label());
+    }
+}

@@ -122,12 +122,12 @@ mod tests {
         let core = m.platform().core_area_mm2;
         // Paper: mobile eADR SuperCap ~77x the core area; BBB ~97.2%.
         let eadr_ratio =
-            footprint_area_mm2(volume_mm3(m.eadr_battery_energy_j(), BatteryTech::SuperCap))
-                / core;
+            footprint_area_mm2(volume_mm3(m.eadr_battery_energy_j(), BatteryTech::SuperCap)) / core;
         assert!(close(eadr_ratio, 77.0, 0.05), "ratio = {eadr_ratio}");
-        let bbb_ratio =
-            footprint_area_mm2(volume_mm3(m.bbb_battery_energy_j(32), BatteryTech::SuperCap))
-                / core;
+        let bbb_ratio = footprint_area_mm2(volume_mm3(
+            m.bbb_battery_energy_j(32),
+            BatteryTech::SuperCap,
+        )) / core;
         assert!(close(bbb_ratio, 0.972, 0.05), "ratio = {bbb_ratio}");
     }
 

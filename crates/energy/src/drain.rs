@@ -203,10 +203,10 @@ impl DrainModel {
     #[must_use]
     pub fn price_drain_set(&self, blocks: u64, sb_bytes: u64) -> (f64, f64) {
         let bytes = blocks as f64 * 64.0 + sb_bytes as f64;
-        let energy = bytes
-            * (self.costs.bbpb_to_nvmm_j_per_byte + self.costs.sram_access_j_per_byte);
-        let time = bytes
-            / (self.platform.memory_channels as f64 * self.costs.nvmm_write_bw_per_channel);
+        let energy =
+            bytes * (self.costs.bbpb_to_nvmm_j_per_byte + self.costs.sram_access_j_per_byte);
+        let time =
+            bytes / (self.platform.memory_channels as f64 * self.costs.nvmm_write_bw_per_channel);
         (energy, time)
     }
 }

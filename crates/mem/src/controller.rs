@@ -206,6 +206,13 @@ impl NvmmController {
         self.wpq.occupancy(now)
     }
 
+    /// Backpressure stalls the WPQ has suffered so far (cheap event probe
+    /// for crash-point planners; also in [`NvmmController::stats`]).
+    #[must_use]
+    pub fn wpq_backpressure_events(&self) -> u64 {
+        self.wpq.backpressure_count()
+    }
+
     /// Endurance (per-block media write) accounting.
     #[must_use]
     pub fn endurance(&self) -> &EnduranceTracker {
@@ -323,7 +330,10 @@ mod tests {
         assert_eq!(n.endurance().total_writes(), before);
         assert_eq!(n.stats().get("wpq.coalesced"), 1);
         // Latest data still visible in crash image.
-        assert_eq!(n.crash_image().read_block(BlockAddr::from_index(7)), [0xFF; 64]);
+        assert_eq!(
+            n.crash_image().read_block(BlockAddr::from_index(7)),
+            [0xFF; 64]
+        );
     }
 }
 

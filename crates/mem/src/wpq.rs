@@ -103,18 +103,8 @@ impl WritePendingQueue {
         write_latency: Cycle,
     ) -> WpqAccept {
         self.purge(now);
-        if let Some(e) = self.entries.get(&block) {
-            if e.start > now {
-                self.coalesced.inc();
-                return WpqAccept {
-                    persist: now,
-                    media_completion: e.completion,
-                    coalesced: true,
-                };
-            }
-        }
         let mut accept = now;
-        if self.occupancy(now) >= self.capacity {
+        if self.coalescable(block, now).is_none() && self.occupancy(now) >= self.capacity {
             self.backpressure_events.inc();
             accept = self
                 .entries
@@ -124,6 +114,19 @@ impl WritePendingQueue {
                 .min()
                 .unwrap_or(now);
             self.purge(accept);
+        }
+        // The coalesce decision is made at the cycle the write is actually
+        // accepted. The check used to run at `now` only, so a write that
+        // stalled on a full queue was never re-checked against a same-block
+        // entry still queued at `accept` — double-counting it as a fresh
+        // media write.
+        if let Some(completion) = self.coalescable(block, accept) {
+            self.coalesced.inc();
+            return WpqAccept {
+                persist: accept,
+                media_completion: completion,
+                coalesced: true,
+            };
         }
         let (start, completion) = media.schedule(accept, write_latency);
         self.entries.insert(block, Entry { start, completion });
@@ -135,12 +138,20 @@ impl WritePendingQueue {
         }
     }
 
+    /// The completion cycle of a queued same-block entry a write arriving
+    /// at `t` can merge into — the entry's media write must not have
+    /// started, because an in-flight write cannot absorb new data.
+    fn coalescable(&self, block: BlockAddr, t: Cycle) -> Option<Cycle> {
+        self.entries
+            .get(&block)
+            .filter(|e| e.start > t)
+            .map(|e| e.completion)
+    }
+
     /// True if `block` still has a queued entry at `now` (read forwarding).
     #[must_use]
     pub fn holds(&self, block: BlockAddr, now: Cycle) -> bool {
-        self.entries
-            .get(&block)
-            .is_some_and(|e| e.completion > now)
+        self.entries.get(&block).is_some_and(|e| e.completion > now)
     }
 
     /// Drops entries whose media writes have completed.
@@ -153,6 +164,12 @@ impl WritePendingQueue {
     #[must_use]
     pub fn crash_drain_bytes(&self, now: Cycle) -> u64 {
         self.occupancy(now) as u64 * BLOCK_BYTES as u64
+    }
+
+    /// Backpressure stalls so far (allocation-free event probe).
+    #[must_use]
+    pub fn backpressure_count(&self) -> u64 {
+        self.backpressure_events.get()
     }
 
     /// Exports counters under the `wpq.` prefix.
@@ -207,7 +224,10 @@ mod tests {
         let (mut q, mut m) = wpq_and_media();
         q.offer(0, BlockAddr::from_index(1), &mut m, WLAT); // starts at 0
         let again = q.offer(10, BlockAddr::from_index(1), &mut m, WLAT);
-        assert!(!again.coalesced, "in-flight media write cannot absorb new data");
+        assert!(
+            !again.coalesced,
+            "in-flight media write cannot absorb new data"
+        );
         assert_eq!(q.stats().get("wpq.media_writes"), 2);
     }
 
@@ -222,6 +242,71 @@ mod tests {
         // Earliest completion on the single channel is WLAT.
         assert_eq!(a.persist, WLAT);
         assert_eq!(q.stats().get("wpq.backpressure_events"), 1);
+    }
+
+    #[test]
+    fn full_queue_merges_same_block_write_without_backpressure() {
+        // Regression for the backpressure coalesce gap: a mergeable write
+        // must never stall on a full queue, pay a backpressure event, or
+        // count as a fresh media write.
+        let mut q = WritePendingQueue::new(2);
+        let mut m = ChannelScheduler::new(1);
+        q.offer(0, BlockAddr::from_index(1), &mut m, WLAT); // starts at 0
+        q.offer(0, BlockAddr::from_index(2), &mut m, WLAT); // starts at WLAT
+        assert_eq!(q.occupancy(5), 2, "queue full");
+        let a = q.offer(5, BlockAddr::from_index(2), &mut m, WLAT);
+        assert!(a.coalesced);
+        assert_eq!(a.persist, 5);
+        assert_eq!(q.stats().get("wpq.backpressure_events"), 0);
+        assert_eq!(q.stats().get("wpq.media_writes"), 2);
+    }
+
+    #[test]
+    fn coalesce_check_runs_at_accept_after_backpressure() {
+        // A same-block entry whose media write is in flight cannot absorb
+        // the new write, so the write backpressures; the stall ends exactly
+        // when that entry completes, the accept-time re-check finds it
+        // purged, and the write correctly counts as fresh.
+        let mut q = WritePendingQueue::new(2);
+        let mut m = ChannelScheduler::new(1);
+        q.offer(0, BlockAddr::from_index(1), &mut m, WLAT); // starts at 0
+        q.offer(0, BlockAddr::from_index(2), &mut m, WLAT); // starts at WLAT
+        let a = q.offer(5, BlockAddr::from_index(1), &mut m, WLAT);
+        assert!(!a.coalesced, "in-flight media write cannot absorb new data");
+        assert_eq!(a.persist, WLAT, "stalled until block 1's write completed");
+        assert_eq!(q.stats().get("wpq.backpressure_events"), 1);
+        assert_eq!(q.stats().get("wpq.media_writes"), 3);
+    }
+
+    #[test]
+    fn coalesce_window_is_start_time_not_completion() {
+        let mut q = WritePendingQueue::new(4);
+        let mut m = ChannelScheduler::new(1);
+        q.offer(0, BlockAddr::from_index(1), &mut m, WLAT); // starts at 0
+        q.offer(0, BlockAddr::from_index(2), &mut m, WLAT); // starts at WLAT
+        assert_eq!(q.coalescable(BlockAddr::from_index(1), 5), None);
+        assert_eq!(q.coalescable(BlockAddr::from_index(2), 5), Some(2 * WLAT));
+        // At the entry's own start cycle the window has closed.
+        assert_eq!(q.coalescable(BlockAddr::from_index(2), WLAT), None);
+    }
+
+    #[test]
+    fn crash_with_queue_at_capacity_covers_every_entry() {
+        // Satellite coverage: crash while occupancy == capacity, right
+        // after a backpressure stall. Every still-queued entry is inside
+        // the ADR domain and must be charged to the flush-on-fail battery.
+        let (mut q, mut m) = wpq_and_media();
+        for i in 0..4 {
+            q.offer(0, BlockAddr::from_index(i), &mut m, WLAT);
+        }
+        let a = q.offer(0, BlockAddr::from_index(99), &mut m, WLAT);
+        assert_eq!(q.stats().get("wpq.backpressure_events"), 1);
+        assert_eq!(q.occupancy(0), 4);
+        assert_eq!(q.crash_drain_bytes(0), 4 * 64);
+        // At the stalled accept cycle the new entry occupies the freed
+        // slot: still at capacity, still fully covered.
+        assert_eq!(q.occupancy(a.persist), 4);
+        assert_eq!(q.crash_drain_bytes(a.persist), 4 * 64);
     }
 
     #[test]

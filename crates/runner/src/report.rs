@@ -18,8 +18,7 @@ use crate::{Json, Scale};
 /// `--json` argument or `BBB_JSON=1` in the environment.
 #[must_use]
 pub fn json_requested() -> bool {
-    std::env::args().any(|a| a == "--json")
-        || std::env::var("BBB_JSON").is_ok_and(|v| v == "1")
+    std::env::args().any(|a| a == "--json") || std::env::var("BBB_JSON").is_ok_and(|v| v == "1")
 }
 
 #[derive(Debug, Clone)]
@@ -181,9 +180,11 @@ pub fn table_to_json(t: &Table) -> Json {
         ),
         (
             "rows",
-            Json::arr(t.rows().iter().map(|row| {
-                Json::arr(row.iter().map(|cell| Json::from(cell.as_str())))
-            })),
+            Json::arr(
+                t.rows()
+                    .iter()
+                    .map(|row| Json::arr(row.iter().map(|cell| Json::from(cell.as_str())))),
+            ),
         ),
     ])
 }
@@ -241,10 +242,7 @@ mod tests {
     #[test]
     fn json_path_uses_name() {
         let r = Report::with_json("fig7", true);
-        assert!(r
-            .json_path()
-            .to_string_lossy()
-            .ends_with("BENCH_fig7.json"));
+        assert!(r.json_path().to_string_lossy().ends_with("BENCH_fig7.json"));
     }
 
     #[test]

@@ -138,6 +138,54 @@ impl Runner {
         execute_spec(spec)
     }
 
+    /// Applies `f` to every item on the worker pool, returning results in
+    /// item order regardless of thread count. This is the primitive
+    /// [`Runner::run`] is built on; other drivers (the crash-sweep
+    /// harness, ablations) use it directly to parallelise work that is
+    /// not shaped like an [`ExperimentSpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (`f` panicked on some item).
+    #[must_use]
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            for (slot, item) in slots.iter().zip(items) {
+                *slot.lock().expect("unpoisoned") = Some(f(item));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let f = &f;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= items.len() {
+                            break;
+                        }
+                        let result = f(&items[j]);
+                        *slots[j].lock().expect("unpoisoned") = Some(result);
+                    });
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("unpoisoned")
+                    .expect("every item executed")
+            })
+            .collect()
+    }
+
     /// Executes every spec, returning results in spec order. Duplicate
     /// points (specs for which [`ExperimentSpec::same_point`] holds) are
     /// executed once and share the result. Execution is deterministic:
@@ -149,38 +197,8 @@ impl Runner {
     #[must_use]
     pub fn run(&self, specs: &[ExperimentSpec]) -> Vec<RunResult> {
         let (jobs, assignment) = plan(specs);
-        let slots: Vec<Mutex<Option<RunResult>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        let workers = self.threads.min(jobs.len());
-        if workers <= 1 {
-            for (slot, &spec_idx) in slots.iter().zip(&jobs) {
-                *slot.lock().expect("unpoisoned") = Some(execute_spec(&specs[spec_idx]));
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let j = next.fetch_add(1, Ordering::Relaxed);
-                        if j >= jobs.len() {
-                            break;
-                        }
-                        let result = execute_spec(&specs[jobs[j]]);
-                        *slots[j].lock().expect("unpoisoned") = Some(result);
-                    });
-                }
-            });
-        }
-        assignment
-            .into_iter()
-            .map(|j| {
-                slots[j]
-                    .lock()
-                    .expect("unpoisoned")
-                    .clone()
-                    .expect("every job executed")
-            })
-            .collect()
+        let results = self.map(&jobs, |&spec_idx| execute_spec(&specs[spec_idx]));
+        assignment.into_iter().map(|j| results[j].clone()).collect()
     }
 }
 
@@ -271,18 +289,8 @@ mod tests {
     fn results_come_back_in_spec_order() {
         let scale = tiny_scale();
         let cfg = paper_config(scale);
-        let slow = ExperimentSpec::new(
-            WorkloadKind::Ctree,
-            PersistencyMode::Pmem,
-            &cfg,
-            scale,
-        );
-        let fast = ExperimentSpec::new(
-            WorkloadKind::Ctree,
-            PersistencyMode::Eadr,
-            &cfg,
-            scale,
-        );
+        let slow = ExperimentSpec::new(WorkloadKind::Ctree, PersistencyMode::Pmem, &cfg, scale);
+        let fast = ExperimentSpec::new(WorkloadKind::Ctree, PersistencyMode::Eadr, &cfg, scale);
         let results = Runner::with_threads(2).run(&[slow.clone(), fast.clone()]);
         assert_eq!(results[0], execute_spec(&slow));
         assert_eq!(results[1], execute_spec(&fast));
@@ -290,6 +298,19 @@ mod tests {
             results[0].cycles() > results[1].cycles(),
             "PMEM flushes must cost cycles"
         );
+    }
+
+    #[test]
+    fn map_preserves_item_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let square = |x: &u64| x * x;
+        let serial = Runner::with_threads(1).map(&items, square);
+        let parallel = Runner::with_threads(8).map(&items, square);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, items.iter().map(square).collect::<Vec<_>>());
+        assert!(Runner::with_threads(4)
+            .map::<u64, u64, _>(&[], square)
+            .is_empty());
     }
 
     #[test]
@@ -306,7 +327,6 @@ mod tests {
 
     #[test]
     fn budget_capped_runs_skip_the_drain_barrier() {
-        let scale = tiny_scale();
         let mut cfg = SimConfig::small_for_tests();
         cfg.persistent_heap_bytes = 512 * 1024;
         let spec = ExperimentSpec::new(

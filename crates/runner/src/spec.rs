@@ -62,7 +62,12 @@ impl ExperimentSpec {
     /// mode requires software flushes, and with epoch barriers exactly
     /// when the mode requires them.
     #[must_use]
-    pub fn new(workload: WorkloadKind, mode: PersistencyMode, cfg: &SimConfig, scale: Scale) -> Self {
+    pub fn new(
+        workload: WorkloadKind,
+        mode: PersistencyMode,
+        cfg: &SimConfig,
+        scale: Scale,
+    ) -> Self {
         Self {
             label: format!("{}/{mode}", workload.name()),
             workload,
@@ -191,12 +196,7 @@ mod tests {
     #[test]
     fn labels_do_not_affect_point_identity() {
         let cfg = SimConfig::small_for_tests();
-        let a = ExperimentSpec::new(
-            WorkloadKind::Hashmap,
-            PersistencyMode::Eadr,
-            &cfg,
-            scale(),
-        );
+        let a = ExperimentSpec::new(WorkloadKind::Hashmap, PersistencyMode::Eadr, &cfg, scale());
         let b = a.clone().labeled("baseline");
         assert_ne!(a.label, b.label);
         assert!(a.same_point(&b));

@@ -164,7 +164,10 @@ impl AddressMap {
     /// Panics if `addr` is outside the physical address space.
     #[must_use]
     pub fn region_of(&self, addr: Addr) -> Region {
-        assert!(addr < self.end(), "address {addr:#x} outside physical memory");
+        assert!(
+            addr < self.end(),
+            "address {addr:#x} outside physical memory"
+        );
         if addr < self.dram_bytes {
             Region::Dram
         } else if addr < self.persistent_end() {

@@ -69,7 +69,11 @@ impl CacheConfig {
     #[must_use]
     pub fn sets(&self) -> usize {
         let blocks = self.blocks();
-        assert_eq!(blocks % self.ways, 0, "capacity must divide evenly into ways");
+        assert_eq!(
+            blocks % self.ways,
+            0,
+            "capacity must divide evenly into ways"
+        );
         blocks / self.ways
     }
 }
@@ -321,7 +325,10 @@ mod tests {
         assert_eq!(c.mem.nvmm_read, 300);
         assert_eq!(c.mem.nvmm_write, 1000);
         assert_eq!(c.bbpb.entries, 32);
-        assert_eq!(c.bbpb.drain_policy, DrainPolicy::Threshold { threshold_pct: 75 });
+        assert_eq!(
+            c.bbpb.drain_policy,
+            DrainPolicy::Threshold { threshold_pct: 75 }
+        );
         assert!(c.validate().is_ok());
     }
 
@@ -342,7 +349,10 @@ mod tests {
         assert_eq!(p.start_level(1), 1);
         assert_eq!(DrainPolicy::Eager.start_level(32), 1);
         // Threshold of 1% on a tiny buffer still drains.
-        assert_eq!(DrainPolicy::Threshold { threshold_pct: 1 }.start_level(4), 1);
+        assert_eq!(
+            DrainPolicy::Threshold { threshold_pct: 1 }.start_level(4),
+            1
+        );
     }
 
     #[test]
@@ -352,8 +362,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_geometry() {
-        let mut c = SimConfig::default();
-        c.cores = 0;
+        let c = SimConfig {
+            cores: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = SimConfig::default();

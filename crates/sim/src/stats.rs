@@ -412,7 +412,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "percentile")]
     fn bad_percentile_panics() {
-        Histogram::new().percentile_upper_bound(0);
+        let _ = Histogram::new().percentile_upper_bound(0);
     }
 
     #[test]

@@ -46,7 +46,8 @@ impl Table {
             self.header.len(),
             "row width must match header width"
         );
-        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
     }
 
     /// Appends a row from owned strings (convenient with `format!`).

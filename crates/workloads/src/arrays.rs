@@ -153,7 +153,7 @@ impl Workload for ArrayWorkload {
                 let v = b.load_u64(arch, a);
                 // Mutate the low payload bits, preserving the tag.
                 let nv = (v & 0xFFFF_0000_0000_0000) | ((v + 1) & 0xFFFF_FFFF_FFFF);
-                b.store_u64(arch, a, nv);
+                b.store_u64(a, nv);
             }
             ArrayOpKind::Swap => {
                 let i = self.pick(core);
@@ -161,8 +161,8 @@ impl Workload for ArrayWorkload {
                 let (ai, aj) = (self.slot(i), self.slot(j));
                 let vi = b.load_u64(arch, ai);
                 let vj = b.load_u64(arch, aj);
-                b.store_u64(arch, ai, vj);
-                b.store_u64(arch, aj, vi);
+                b.store_u64(ai, vj);
+                b.store_u64(aj, vi);
             }
         }
         Some(b.finish())
@@ -176,11 +176,7 @@ impl Workload for ArrayWorkload {
 /// # Errors
 ///
 /// Returns the index of the first untagged element.
-pub fn check_array_recovery(
-    image: &NvmImage,
-    base: Addr,
-    elements: u64,
-) -> Result<u64, String> {
+pub fn check_array_recovery(image: &NvmImage, base: Addr, elements: u64) -> Result<u64, String> {
     let mut originals = 0;
     for i in 0..elements {
         let v = image.read_u64(base + i * 8);

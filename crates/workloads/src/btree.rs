@@ -20,6 +20,7 @@ use bbb_mem::{ByteStore, NvmImage};
 use bbb_sim::{Addr, AddressMap, SplitMix64};
 
 use crate::builder::OpBuilder;
+use crate::locks::InsertLock;
 use crate::palloc::Palloc;
 
 /// Entries per node.
@@ -50,6 +51,7 @@ pub struct BtreeWorkload {
     initial: u64,
     instrument: bool,
     inserted: u64,
+    lock: InsertLock,
 }
 
 impl BtreeWorkload {
@@ -76,6 +78,7 @@ impl BtreeWorkload {
             initial,
             instrument,
             inserted: 0,
+            lock: InsertLock::new(),
         }
     }
 
@@ -109,7 +112,7 @@ impl BtreeWorkload {
         macro_rules! wr {
             ($addr:expr, $v:expr) => {
                 match b.as_deref_mut() {
-                    Some(bb) => bb.store_u64(arch, $addr, $v),
+                    Some(bb) => bb.store_u64($addr, $v),
                     None => arch.write_u64($addr, $v),
                 }
             };
@@ -263,14 +266,22 @@ impl Workload for BtreeWorkload {
     }
 
     fn next_batch(&mut self, core: usize, arch: &mut ByteStore) -> Option<Vec<Op>> {
+        self.lock.release_if_held(core);
         if core >= self.remaining.len() || self.remaining[core] == 0 {
             return None;
+        }
+        if !self.lock.try_acquire(core) {
+            // Unsorted in-place appends race (two cores would claim the
+            // same slot), so inserts are lock-based: spin until the
+            // holder's batch commits.
+            return Some(InsertLock::spin_batch());
         }
         self.remaining[core] -= 1;
         let key = Self::random_key(&mut self.rngs[core]);
         let map = self.map.clone();
         let mut b = OpBuilder::new(&map, self.instrument);
         if !self.insert(arch, core, key, Some(&mut b)) {
+            self.lock.release();
             return None;
         }
         Some(b.finish())

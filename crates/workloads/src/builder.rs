@@ -1,8 +1,14 @@
 //! Building op sequences with persistency-mode-aware instrumentation.
 //!
 //! [`OpBuilder`] is the bridge between a data structure's functional code
-//! and the simulator: every load/store both updates architectural memory
-//! and appends the corresponding [`Op`]. When *instrumentation* is on —
+//! and the simulator: loads read *committed* architectural memory to plan
+//! the operation, and stores append [`Op`]s whose effects the simulator
+//! applies to architectural memory when they commit (in
+//! `System::step_op`) — never at generation time. That ordering is
+//! load-bearing for crash realism: if generation wrote memory eagerly, a
+//! second core could chain to a node whose publishing store has not yet
+//! committed, producing crash images (publish visible before contents)
+//! that no real coherence protocol allows. When *instrumentation* is on —
 //! the PMEM baseline — each persisting store is followed by `clwb` +
 //! `sfence`, exactly the transformation the paper's Fig. 2 → Fig. 3 shows
 //! a programmer must perform by hand. Under BBB/eADR instrumentation stays
@@ -27,13 +33,14 @@ use bbb_sim::{Addr, AddressMap};
 ///
 /// // Uninstrumented (BBB/eADR): one store, no flushes.
 /// let mut b = OpBuilder::new(&map, false);
-/// b.store_u64(&mut arch, a, 7);
+/// b.store_u64(a, 7);
 /// assert_eq!(b.finish().len(), 1);
 ///
 /// // Instrumented (PMEM): store + clwb + sfence.
 /// let mut b = OpBuilder::new(&map, true);
-/// b.store_u64(&mut arch, a, 7);
+/// b.store_u64(a, 7);
 /// assert_eq!(b.finish().len(), 3);
+/// # let _ = arch;
 /// ```
 #[derive(Debug)]
 pub struct OpBuilder<'a> {
@@ -60,10 +67,11 @@ impl<'a> OpBuilder<'a> {
         arch.read_u64(addr)
     }
 
-    /// Writes a `u64` to architectural memory and emits the store op (plus
-    /// flush/fence when instrumenting and the target is persistent).
-    pub fn store_u64(&mut self, arch: &mut ByteStore, addr: Addr, value: u64) {
-        arch.write_u64(addr, value);
+    /// Emits the store op (plus flush/fence when instrumenting and the
+    /// target is persistent). Architectural memory is deliberately NOT
+    /// written here — the simulator applies the store when it commits, so
+    /// other cores' generators can never observe it early.
+    pub fn store_u64(&mut self, addr: Addr, value: u64) {
         self.ops.push(Op::store_u64(addr, value));
         if self.instrument && self.map.is_persistent(addr) {
             self.ops.push(Op::Clwb { addr });
@@ -127,10 +135,9 @@ mod tests {
     #[test]
     fn instrumentation_only_touches_persistent_stores() {
         let m = map();
-        let mut arch = ByteStore::new();
         let mut b = OpBuilder::new(&m, true);
-        b.store_u64(&mut arch, 0x100, 1); // DRAM address
-        b.store_u64(&mut arch, m.persistent_base(), 2); // persistent
+        b.store_u64(0x100, 1); // DRAM address
+        b.store_u64(m.persistent_base(), 2); // persistent
         let ops = b.finish();
         // DRAM store alone; persistent store + clwb + fence.
         assert_eq!(ops.len(), 4);
@@ -140,12 +147,15 @@ mod tests {
     }
 
     #[test]
-    fn stores_update_arch_memory() {
+    fn stores_do_not_touch_arch_memory_at_generation_time() {
+        // Committed-state discipline: the simulator writes architectural
+        // memory when the store commits, so generation must not.
         let m = map();
-        let mut arch = ByteStore::new();
+        let arch = ByteStore::new();
         let mut b = OpBuilder::new(&m, false);
-        b.store_u64(&mut arch, m.persistent_base() + 8, 99);
-        assert_eq!(arch.read_u64(m.persistent_base() + 8), 99);
+        b.store_u64(m.persistent_base() + 8, 99);
+        assert_eq!(arch.read_u64(m.persistent_base() + 8), 0);
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

@@ -46,6 +46,7 @@ impl CtreeWorkload {
     /// * `initial` — nodes inserted functionally at setup (the paper's 1M).
     /// * `per_core_ops` — measured insertions per core.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         map: AddressMap,
         root_addr: Addr,
@@ -135,8 +136,8 @@ impl CtreeWorkload {
         let leaf = self.palloc.alloc(core, 16)?;
         let mut b = OpBuilder::new(&self.map, self.instrument);
 
-        b.store_u64(arch, leaf, TAG_LEAF | (key << 8));
-        b.store_u64(arch, leaf + 8, key.wrapping_mul(3));
+        b.store_u64(leaf, TAG_LEAF | (key << 8));
+        b.store_u64(leaf + 8, key.wrapping_mul(3));
 
         let Some(plan) = plan_insert_with_builder(&mut b, arch, self.root_addr, key) else {
             // Duplicate key: the traversal loads still count as work, but
@@ -146,7 +147,7 @@ impl CtreeWorkload {
         };
         match plan {
             InsertPlan::EmptyTree => {
-                b.store_u64(arch, self.root_addr, leaf);
+                b.store_u64(self.root_addr, leaf);
             }
             InsertPlan::Splice {
                 parent_slot,
@@ -155,16 +156,16 @@ impl CtreeWorkload {
                 key_side_right,
             } => {
                 let internal = self.palloc.alloc(core, 24)?;
-                b.store_u64(arch, internal, TAG_INTERNAL | (u64::from(bit) << 8));
+                b.store_u64(internal, TAG_INTERNAL | (u64::from(bit) << 8));
                 let (l, r) = if key_side_right {
                     (old_child, leaf)
                 } else {
                     (leaf, old_child)
                 };
-                b.store_u64(arch, internal + 8, l);
-                b.store_u64(arch, internal + 16, r);
+                b.store_u64(internal + 8, l);
+                b.store_u64(internal + 16, r);
                 // Publish: the single pointer store that commits the insert.
-                b.store_u64(arch, parent_slot, internal);
+                b.store_u64(parent_slot, internal);
             }
         }
         self.inserted += 1;

@@ -29,19 +29,24 @@ pub mod builder;
 pub mod ctree;
 pub mod hashmap;
 pub mod linkedlist;
+pub mod locks;
 pub mod palloc;
 pub mod rtree;
 pub mod suite;
 
-pub use arrays::{ArrayWorkload, ArrayOpKind, Sharing};
+pub use arrays::{ArrayOpKind, ArrayWorkload, Sharing};
 pub use btree::BtreeWorkload;
 pub use builder::OpBuilder;
 pub use ctree::CtreeWorkload;
 pub use hashmap::HashmapWorkload;
 pub use linkedlist::LinkedList;
+pub use locks::InsertLock;
 pub use palloc::Palloc;
 pub use rtree::RtreeWorkload;
-pub use suite::{make_workload, verify_recovery, WorkloadKind, WorkloadParams};
+pub use suite::{
+    make_workload, verify_recovery, verify_recovery_report, RecoveryReport, WorkloadKind,
+    WorkloadParams,
+};
 
 // The experiment runner executes workloads on worker threads; every
 // workload (and the boxed form `make_workload` returns) must stay `Send`.

@@ -114,12 +114,12 @@ impl LinkedList {
         let node = palloc.alloc(core, Self::NODE_BYTES)?;
         let mut b = OpBuilder::new(map, instrument);
         // new_node->value = ...
-        b.store_u64(arch, node, VALUE_MAGIC | self.appended);
+        b.store_u64(node, VALUE_MAGIC | self.appended);
         // new_node->next = head
         let head = b.load_u64(arch, self.head_addr);
-        b.store_u64(arch, node + 8, head);
+        b.store_u64(node + 8, head);
         // head = new_node  (the publish: last store of the operation)
-        b.store_u64(arch, self.head_addr, node);
+        b.store_u64(self.head_addr, node);
         self.appended += 1;
         Some(b.finish())
     }
@@ -262,12 +262,12 @@ mod tests {
         let img = sys.crash_now();
         // Without flushes the whole list (or a prefix) sits in volatile
         // caches; the image must NOT contain all 20 nodes.
-        match list.check_recovery(&img, &map) {
-            Ok(r) => assert!(
+        // Corruption (Err) is also an acceptable demonstration.
+        if let Ok(r) = list.check_recovery(&img, &map) {
+            assert!(
                 r.reachable_nodes < 20,
                 "volatile caches cannot have persisted everything"
-            ),
-            Err(_) => {} // corruption is also an acceptable demonstration
+            );
         }
     }
 

@@ -1,0 +1,99 @@
+//! A workload-level spin lock for structures whose inserts mutate shared
+//! nodes *in place* (rtree and btree append entries and publish them with
+//! a count bump).
+//!
+//! Two cores appending into the same node would claim the same slot — a
+//! data race real code guards with a lock (or per-slot CAS, which the op
+//! stream cannot express). The lock lives in the workload, not in
+//! simulated memory: acquisition happens at batch-generation time, and
+//! release happens when the holder next asks for a batch — by then every
+//! op of the locked batch has *committed*, which is exactly when its
+//! stores became architecturally visible to other cores' generators.
+//! While the lock is held, other cores emit short spin batches (the
+//! cycles a real spinlock would burn) without consuming their op budget.
+//!
+//! Note this coordination is mode-independent plain concurrency control;
+//! it neither adds nor removes any flush/fence, so the persistency-mode
+//! comparison stays fair.
+
+use bbb_cpu::Op;
+
+/// Cycles one spin iteration burns while the lock is contended.
+pub const SPIN_CYCLES: u32 = 24;
+
+/// The single insert lock of one shared structure.
+#[derive(Debug, Clone, Default)]
+pub struct InsertLock {
+    holder: Option<usize>,
+}
+
+impl InsertLock {
+    /// An unheld lock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Releases the lock if `core` holds it. Call first thing in
+    /// `next_batch`: a core asking for a new batch has committed its
+    /// previous one.
+    pub fn release_if_held(&mut self, core: usize) {
+        if self.holder == Some(core) {
+            self.holder = None;
+        }
+    }
+
+    /// Tries to take the lock for `core`; false when another core holds
+    /// it (the caller should emit [`InsertLock::spin_batch`]).
+    pub fn try_acquire(&mut self, core: usize) -> bool {
+        if self.holder.is_none() {
+            self.holder = Some(core);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Force-releases the lock (error paths that abandon the batch).
+    pub fn release(&mut self) {
+        self.holder = None;
+    }
+
+    /// The batch a contended core executes instead of an insert.
+    #[must_use]
+    pub fn spin_batch() -> Vec<Op> {
+        vec![Op::Compute {
+            cycles: SPIN_CYCLES,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_is_exclusive_until_released() {
+        let mut l = InsertLock::new();
+        assert!(l.try_acquire(0));
+        assert!(!l.try_acquire(1));
+        l.release_if_held(1); // non-holder release is a no-op
+        assert!(!l.try_acquire(1));
+        l.release_if_held(0);
+        assert!(l.try_acquire(1));
+        l.release();
+        assert!(l.try_acquire(0));
+    }
+
+    #[test]
+    fn spin_batch_is_pure_compute() {
+        let b = InsertLock::spin_batch();
+        assert_eq!(b.len(), 1);
+        assert!(matches!(
+            b[0],
+            Op::Compute {
+                cycles: SPIN_CYCLES
+            }
+        ));
+    }
+}

@@ -95,12 +95,7 @@ impl Palloc {
     /// scanning the structure for its high-water mark is the classic
     /// log-free alternative.
     #[must_use]
-    pub fn resuming(
-        map: &AddressMap,
-        cores: usize,
-        reserved: u64,
-        high_water: Addr,
-    ) -> Self {
+    pub fn resuming(map: &AddressMap, cores: usize, reserved: u64, high_water: Addr) -> Self {
         let mut p = Self::new(map, cores, reserved);
         for arena in &mut p.arenas {
             if arena.next <= high_water && high_water < arena.end {

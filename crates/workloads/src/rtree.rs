@@ -25,6 +25,7 @@ use bbb_mem::{ByteStore, NvmImage};
 use bbb_sim::{Addr, AddressMap, SplitMix64};
 
 use crate::builder::OpBuilder;
+use crate::locks::InsertLock;
 use crate::palloc::Palloc;
 
 /// Entries per R-tree node.
@@ -131,11 +132,13 @@ pub struct RtreeWorkload {
     initial: u64,
     instrument: bool,
     inserted: u64,
+    lock: InsertLock,
 }
 
 impl RtreeWorkload {
     /// Creates the workload; `root_slot` is a reserved root-pointer slot.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         map: AddressMap,
         root_slot: Addr,
@@ -156,6 +159,7 @@ impl RtreeWorkload {
             initial,
             instrument,
             inserted: 0,
+            lock: InsertLock::new(),
         }
     }
 
@@ -206,7 +210,7 @@ impl RtreeWorkload {
         macro_rules! wr {
             ($addr:expr, $v:expr) => {
                 match b.as_deref_mut() {
-                    Some(bb) => bb.store_u64(arch, $addr, $v),
+                    Some(bb) => bb.store_u64($addr, $v),
                     None => arch.write_u64($addr, $v),
                 }
             };
@@ -214,21 +218,21 @@ impl RtreeWorkload {
         /// Partitions `entries` (boxes + payloads) for a node split:
         /// center against the bounding-box midpoint along the wider axis,
         /// with a forced half/half cut when degenerate.
-        fn partition(mut entries: Vec<(Rect, u64)>) -> (Vec<(Rect, u64)>, Vec<(Rect, u64)>) {
+        type Entries = Vec<(Rect, u64)>;
+        fn partition(mut entries: Entries) -> (Entries, Entries) {
             let bbox = entries[1..]
                 .iter()
                 .fold(entries[0].0, |a, (r, _)| a.union(*r));
             let (cx, cy) = bbox.center();
             let wide_x = u32::from(bbox.x1 - bbox.x0) >= u32::from(bbox.y1 - bbox.y0);
-            let (mut keep, mut moved): (Vec<_>, Vec<_>) =
-                entries.drain(..).partition(|(r, _)| {
-                    let (ex, ey) = r.center();
-                    if wide_x {
-                        ex <= cx
-                    } else {
-                        ey <= cy
-                    }
-                });
+            let (mut keep, mut moved): (Vec<_>, Vec<_>) = entries.drain(..).partition(|(r, _)| {
+                let (ex, ey) = r.center();
+                if wide_x {
+                    ex <= cx
+                } else {
+                    ey <= cy
+                }
+            });
             if keep.is_empty() || moved.is_empty() {
                 let mut all = std::mem::take(&mut keep);
                 all.append(&mut moved);
@@ -382,8 +386,6 @@ impl RtreeWorkload {
         self.inserted += 1;
         true
     }
-
-
 }
 
 impl Workload for RtreeWorkload {
@@ -405,14 +407,22 @@ impl Workload for RtreeWorkload {
     }
 
     fn next_batch(&mut self, core: usize, arch: &mut ByteStore) -> Option<Vec<Op>> {
+        self.lock.release_if_held(core);
         if core >= self.remaining.len() || self.remaining[core] == 0 {
             return None;
+        }
+        if !self.lock.try_acquire(core) {
+            // In-place appends and box tightening race across cores, so
+            // inserts are lock-based: spin until the holder's batch
+            // commits.
+            return Some(InsertLock::spin_batch());
         }
         self.remaining[core] -= 1;
         let rect = Self::random_rect(&mut self.rngs[core]);
         let map = self.map.clone();
         let mut b = OpBuilder::new(&map, self.instrument);
         if !self.insert(arch, core, rect, Some(&mut b)) {
+            self.lock.release();
             return None; // allocator exhausted: treat as end of stream
         }
         Some(b.finish())

@@ -91,9 +91,7 @@ impl WorkloadKind {
             WorkloadKind::Rtree => "1 million-node rtree insertion",
             WorkloadKind::Ctree => "1 million-node ctree insertion",
             WorkloadKind::Hashmap => "1 million-node hashmap insertion",
-            WorkloadKind::MutateNC | WorkloadKind::MutateC => {
-                "modify in 1 million-element array"
-            }
+            WorkloadKind::MutateNC | WorkloadKind::MutateC => "modify in 1 million-element array",
             WorkloadKind::SwapNC | WorkloadKind::SwapC => "swap in 1 million-element array",
             WorkloadKind::Btree => "1 million-node btree insertion (extension)",
         }
@@ -216,7 +214,9 @@ pub fn make_workload(
                 params.instrument,
             ))
         }
-        WorkloadKind::MutateNC | WorkloadKind::MutateC | WorkloadKind::SwapNC
+        WorkloadKind::MutateNC
+        | WorkloadKind::MutateC
+        | WorkloadKind::SwapNC
         | WorkloadKind::SwapC => {
             let kind_ = match kind {
                 WorkloadKind::MutateNC | WorkloadKind::MutateC => ArrayOpKind::Mutate,
@@ -275,11 +275,73 @@ pub fn verify_recovery(
                 .clamp(64, reserve / 8);
             crate::hashmap::check_hashmap_recovery(image, &map, base, buckets)
         }
-        WorkloadKind::MutateNC | WorkloadKind::MutateC | WorkloadKind::SwapNC
+        WorkloadKind::MutateNC
+        | WorkloadKind::MutateC
+        | WorkloadKind::SwapNC
         | WorkloadKind::SwapC => {
             let elements = params.initial.div_ceil(cfg.cores as u64) * cfg.cores as u64;
             crate::arrays::check_array_recovery(image, base + reserve, elements)
         }
+    }
+}
+
+/// A structured recovery-verification outcome: which workload was checked,
+/// how much of the structure survived, and — on failure — what exactly was
+/// inconsistent. Crash-sweep harnesses report and shrink against this
+/// instead of a bare pass/fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Workload whose structure was verified.
+    pub workload: WorkloadKind,
+    /// Elements recovered (0 when the structure was corrupt).
+    pub recovered: u64,
+    /// First inconsistency found, if any.
+    pub failure: Option<String>,
+}
+
+impl RecoveryReport {
+    /// True when the structure verified clean.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.failure {
+            None => write!(
+                f,
+                "{}: ok ({} recovered)",
+                self.workload.name(),
+                self.recovered
+            ),
+            Some(msg) => write!(f, "{}: FAILED — {msg}", self.workload.name()),
+        }
+    }
+}
+
+/// [`verify_recovery`] with a failure-describing report instead of a bare
+/// `Result`: the sweep harness keeps the failing detail alongside the
+/// crash point it belongs to.
+#[must_use]
+pub fn verify_recovery_report(
+    kind: WorkloadKind,
+    image: &NvmImage,
+    cfg: &SimConfig,
+    params: WorkloadParams,
+) -> RecoveryReport {
+    match verify_recovery(kind, image, cfg, params) {
+        Ok(recovered) => RecoveryReport {
+            workload: kind,
+            recovered,
+            failure: None,
+        },
+        Err(msg) => RecoveryReport {
+            workload: kind,
+            recovered: 0,
+            failure: Some(msg),
+        },
     }
 }
 

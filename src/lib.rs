@@ -13,7 +13,12 @@
 //! * [`workloads`] — the paper's Table IV workloads and recoverable data
 //!   structures,
 //! * [`energy`] — the draining-energy/time and battery-sizing models behind
-//!   the paper's Tables V–X.
+//!   the paper's Tables V–X,
+//! * [`runner`] — declarative experiment specs, the parallel point runner,
+//!   and the shared ASCII/JSON report layer,
+//! * [`crashfuzz`] — the crash-point sweep harness: dense/random/boundary
+//!   power-failure injection, differential negative oracles, and failure
+//!   shrinking to minimal regression tests.
 //!
 //! # Quickstart
 //!
@@ -34,7 +39,9 @@
 pub use bbb_cache as cache;
 pub use bbb_core as core;
 pub use bbb_cpu as cpu;
+pub use bbb_crashfuzz as crashfuzz;
 pub use bbb_energy as energy;
 pub use bbb_mem as mem;
+pub use bbb_runner as runner;
 pub use bbb_sim as sim;
 pub use bbb_workloads as workloads;

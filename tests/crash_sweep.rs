@@ -1,0 +1,202 @@
+//! Tier-1 crash-point sweep: the paper's central correctness claim,
+//! checked exhaustively rather than at hand-picked cycles.
+//!
+//! BBB's point of persistency equals its point of visibility, so
+//! unmodified structure code must recover from a power failure at *any*
+//! cycle. These tests drive the `bbb-crashfuzz` engine over dense +
+//! random + event-boundary crash grids and also exercise its negative
+//! oracles: a dead battery, and PMEM stripped of its flushes, must both
+//! demonstrably lose updates — a sweep that cannot catch a machine
+//! designed to lose data proves nothing about one designed not to.
+
+use bbb::core::PersistencyMode;
+use bbb::crashfuzz::{
+    lost_updates_observable, shrink, sweep, CrashFailure, GridSpec, SweepConfig, CRASHFUZZ_SEED,
+};
+use bbb::sim::SimConfig;
+use bbb::workloads::{RecoveryReport, WorkloadKind, WorkloadParams};
+
+fn small() -> (SimConfig, WorkloadParams) {
+    (SimConfig::small_for_tests(), WorkloadParams::smoke())
+}
+
+#[test]
+fn bbb_modes_survive_every_point_of_a_dense_sweep() {
+    // The tentpole assertion: ≥200 distinct crash points per pair, zero
+    // recovery failures, and the battery-dropped oracle drawing blood at
+    // the very same cycles.
+    let (cfg, params) = small();
+    for mode in [
+        PersistencyMode::BbbMemorySide,
+        PersistencyMode::BbbProcessorSide,
+        PersistencyMode::Eadr,
+    ] {
+        let sc = SweepConfig::paper_discipline(
+            WorkloadKind::Hashmap,
+            mode,
+            &cfg,
+            params,
+            GridSpec::smoke(),
+        );
+        let out = sweep(&sc);
+        assert!(
+            out.points >= 200,
+            "{}: only {} points",
+            out.label,
+            out.points
+        );
+        assert!(
+            out.failures.is_empty(),
+            "{}: {} crash points failed recovery (first at cycle {})",
+            out.label,
+            out.failures.len(),
+            out.failures[0].cycle
+        );
+        assert!(
+            out.negative_signatures > 0,
+            "{}: a dead battery never lost an update",
+            out.label
+        );
+        assert!(out.passed());
+    }
+}
+
+#[test]
+fn instrumented_pmem_and_bep_barriers_survive_their_sweeps() {
+    // The two software disciplines (clwb+sfence, epoch barriers) must be
+    // just as crash consistent as the hardware ones — the paper's claim
+    // is that BBB gets there *without* the programmer effort.
+    let (cfg, params) = small();
+    for mode in [PersistencyMode::Pmem, PersistencyMode::Bep] {
+        let sc = SweepConfig::paper_discipline(
+            WorkloadKind::Ctree,
+            mode,
+            &cfg,
+            params,
+            GridSpec::bounded(96, 32, CRASHFUZZ_SEED),
+        );
+        let out = sweep(&sc);
+        assert!(out.expects_consistent);
+        assert!(
+            out.failures.is_empty(),
+            "{}: {} crash points failed recovery",
+            out.label,
+            out.failures.len()
+        );
+    }
+}
+
+#[test]
+fn unflushed_pmem_differential_oracle_shows_lost_updates() {
+    let (cfg, params) = small();
+    let sc = SweepConfig::lossy(
+        WorkloadKind::Hashmap,
+        PersistencyMode::Pmem,
+        &cfg,
+        params,
+        GridSpec::bounded(64, 16, CRASHFUZZ_SEED),
+    );
+    let out = sweep(&sc);
+    assert!(!out.expects_consistent);
+    assert!(out.oracle_required);
+    assert!(
+        out.negative_signatures > 0,
+        "PMEM without flushes must come up short of its flushed twin"
+    );
+    assert!(out.passed());
+}
+
+#[test]
+fn array_lost_updates_are_unobservable_so_the_oracle_is_gated() {
+    // In-place array updates restore older but still-valid values when
+    // lost; no integrity checker can flag that, so the sweep must not
+    // demand signatures there (and must say so via `oracle_required`).
+    assert!(!lost_updates_observable(WorkloadKind::SwapC));
+    assert!(!lost_updates_observable(WorkloadKind::MutateNC));
+    assert!(lost_updates_observable(WorkloadKind::Rtree));
+    assert!(lost_updates_observable(WorkloadKind::Btree));
+    let (cfg, params) = small();
+    let sc = SweepConfig::paper_discipline(
+        WorkloadKind::SwapC,
+        PersistencyMode::BbbMemorySide,
+        &cfg,
+        params,
+        GridSpec::bounded(48, 8, CRASHFUZZ_SEED),
+    );
+    let out = sweep(&sc);
+    assert!(!out.oracle_required);
+    assert!(!out.toothless());
+    assert!(out.failures.is_empty());
+    assert!(out.passed());
+}
+
+#[test]
+fn sweeps_are_deterministic() {
+    // Same config + seed → byte-identical outcome, the property the
+    // shrinker's replay-based minimization depends on.
+    let (cfg, params) = small();
+    let sc = SweepConfig::paper_discipline(
+        WorkloadKind::Rtree,
+        PersistencyMode::BbbMemorySide,
+        &cfg,
+        params,
+        GridSpec::bounded(64, 16, CRASHFUZZ_SEED),
+    );
+    let a = sweep(&sc);
+    let b = sweep(&sc);
+    assert_eq!(a.points, b.points);
+    assert_eq!(a.failures.len(), b.failures.len());
+    assert_eq!(a.negative_points, b.negative_points);
+    assert_eq!(a.negative_signatures, b.negative_signatures);
+}
+
+#[test]
+fn shrinker_emits_a_complete_regression_test() {
+    // Feed the shrinker a battery-dropped failure from a real sweep so
+    // the generated source goes through the full path on real data.
+    let (cfg, params) = small();
+    let sc = SweepConfig::paper_discipline(
+        WorkloadKind::Hashmap,
+        PersistencyMode::BbbMemorySide,
+        &cfg,
+        params,
+        GridSpec::bounded(48, 8, CRASHFUZZ_SEED),
+    );
+    let f = CrashFailure {
+        cycle: 777,
+        battery_dropped: true,
+        report: RecoveryReport {
+            workload: WorkloadKind::Hashmap,
+            recovered: 3,
+            failure: Some("bucket 9: torn node".into()),
+        },
+    };
+    let src = bbb::crashfuzz::test_source(&sc, &f);
+    for needle in [
+        "#[test]",
+        "WorkloadKind::Hashmap",
+        "PersistencyMode::BbbMemorySide",
+        "StopAt::Cycle(777)",
+        "crash_now_battery_dropped()",
+        "verify_recovery_report",
+    ] {
+        assert!(src.contains(needle), "missing {needle} in:\n{src}");
+    }
+    // And the real shrinker on a real failure, if the lossy config
+    // yields one at this scale.
+    let lossy = SweepConfig::lossy(
+        WorkloadKind::Hashmap,
+        PersistencyMode::Pmem,
+        &cfg,
+        params,
+        GridSpec::bounded(64, 16, CRASHFUZZ_SEED),
+    );
+    let reference = bbb::crashfuzz::reference_run(&lossy);
+    let points =
+        bbb::crashfuzz::plan_points(reference.total_cycles, &reference.event_cycles, &lossy.grid);
+    if let Some(found) = bbb::crashfuzz::first_failure_at(&lossy, false, &points) {
+        let rep = shrink(&lossy, &found);
+        assert!(rep.failure.cycle <= found.cycle);
+        assert!(rep.test_source.contains("#[test]"));
+    }
+}

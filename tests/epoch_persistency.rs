@@ -23,10 +23,10 @@ fn durability_stops_at_the_last_epoch_boundary() {
     sys.run_single_core(
         0,
         vec![
-            Op::store_u64(base, 0x11),        // epoch 1
-            Op::store_u64(base + 8, 0x22),    // epoch 1
-            Op::Fence,                        // epoch boundary: all durable
-            Op::store_u64(base + 16, 0x33),   // epoch 2: volatile at crash
+            Op::store_u64(base, 0x11),      // epoch 1
+            Op::store_u64(base + 8, 0x22),  // epoch 1
+            Op::Fence,                      // epoch boundary: all durable
+            Op::store_u64(base + 16, 0x33), // epoch 2: volatile at crash
         ],
     )
     .unwrap();
@@ -46,7 +46,9 @@ fn durability_stops_at_the_last_epoch_boundary() {
 fn bep_without_barriers_loses_everything_buffered() {
     let mut sys = system();
     let base = sys.address_map().persistent_base();
-    let ops: Vec<Op> = (0..8u64).map(|i| Op::store_u64(base + i * 8, i + 1)).collect();
+    let ops: Vec<Op> = (0..8u64)
+        .map(|i| Op::store_u64(base + i * 8, i + 1))
+        .collect();
     sys.run_single_core(0, ops).unwrap();
     let img = sys.crash_now();
     let survived = (0..8u64)
@@ -66,7 +68,9 @@ fn bbb_needs_no_barriers_where_bep_does() {
     {
         let sys = system();
         base = sys.address_map().persistent_base();
-        ops = (0..8u64).map(|i| Op::store_u64(base + i * 8, i + 1)).collect();
+        ops = (0..8u64)
+            .map(|i| Op::store_u64(base + i * 8, i + 1))
+            .collect();
     }
     let mut bbb = System::new(SimConfig::default(), PersistencyMode::BbbMemorySide).unwrap();
     bbb.run_single_core(0, ops).unwrap();

@@ -27,7 +27,10 @@ fn coherence_single_location_serializes() {
     s.check_invariants();
     let img = s.crash_now();
     let v = img.read_u64(a);
-    assert!((1..=32).contains(&v), "final value {v} is one of the writes");
+    assert!(
+        (1..=32).contains(&v),
+        "final value {v} is one of the writes"
+    );
 }
 
 /// Message passing (MP): producer writes data then flag; a consumer that

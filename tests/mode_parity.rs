@@ -35,7 +35,11 @@ fn run(kind: WorkloadKind, mode: PersistencyMode, entries: usize) -> (u64, u64) 
 /// full-scale (cache-exceeding) comparison is the fig7 harness binary.
 #[test]
 fn bbb32_time_close_to_eadr() {
-    for kind in [WorkloadKind::Ctree, WorkloadKind::Hashmap, WorkloadKind::Rtree] {
+    for kind in [
+        WorkloadKind::Ctree,
+        WorkloadKind::Hashmap,
+        WorkloadKind::Rtree,
+    ] {
         let (eadr, _) = run(kind, PersistencyMode::Eadr, 32);
         let (bbb, _) = run(kind, PersistencyMode::BbbMemorySide, 32);
         let ratio = bbb as f64 / eadr as f64;
@@ -65,7 +69,11 @@ fn larger_bbpb_is_not_slower() {
 /// memory-side one on every structure workload (§V-C).
 #[test]
 fn procside_writes_exceed_memside() {
-    for kind in [WorkloadKind::Ctree, WorkloadKind::Hashmap, WorkloadKind::Rtree] {
+    for kind in [
+        WorkloadKind::Ctree,
+        WorkloadKind::Hashmap,
+        WorkloadKind::Rtree,
+    ] {
         let (_, mem) = run(kind, PersistencyMode::BbbMemorySide, 32);
         let (_, proc) = run(kind, PersistencyMode::BbbProcessorSide, 32);
         assert!(

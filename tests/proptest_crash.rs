@@ -87,10 +87,9 @@ fn hashmap_recovers_from_random_crash_points() {
         let map = sys.address_map().clone();
         let img = sys.crash_now();
         let buckets = (params.initial / 2).next_power_of_two().max(64);
-        let n = check_hashmap_recovery(&img, &map, map.persistent_base(), buckets)
-            .unwrap_or_else(|e| {
-                panic!("case {case} (seed={seed} budget={budget}): corrupt image: {e}")
-            });
+        let n = check_hashmap_recovery(&img, &map, map.persistent_base(), buckets).unwrap_or_else(
+            |e| panic!("case {case} (seed={seed} budget={budget}): corrupt image: {e}"),
+        );
         assert!(
             n >= params.initial,
             "case {case} (seed={seed} budget={budget}): setup data lost: {n}"

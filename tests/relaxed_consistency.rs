@@ -26,9 +26,11 @@ fn reorder_prone_ops(base: u64) -> Vec<Op> {
 /// store is durable, the older one is too.
 #[test]
 fn battery_backed_sb_preserves_program_order_under_relaxed_drain() {
-    let mut cfg = SimConfig::default();
-    cfg.relaxed_sb_drain = true;
-    cfg.battery_backed_sb = true;
+    let cfg = SimConfig {
+        relaxed_sb_drain: true,
+        battery_backed_sb: true,
+        ..SimConfig::default()
+    };
     let mut sys = System::new(cfg, PersistencyMode::BbbMemorySide).unwrap();
     let base = sys.address_map().persistent_base();
     sys.run_single_core(0, reorder_prone_ops(base)).unwrap();
@@ -52,9 +54,11 @@ fn battery_backed_sb_preserves_program_order_under_relaxed_drain() {
 /// leave some pair with the younger durable and the older lost.
 #[test]
 fn without_battery_backed_sb_reordering_is_observable() {
-    let mut cfg = SimConfig::default();
-    cfg.relaxed_sb_drain = true;
-    cfg.battery_backed_sb = false;
+    let cfg = SimConfig {
+        relaxed_sb_drain: true,
+        battery_backed_sb: false,
+        ..SimConfig::default()
+    };
     let mut sys = System::new(cfg, PersistencyMode::BbbMemorySide).unwrap();
     let base = sys.address_map().persistent_base();
     let warm = base + 0x40;
@@ -82,9 +86,11 @@ fn without_battery_backed_sb_reordering_is_observable() {
 /// set is a program-order prefix.
 #[test]
 fn tso_drain_keeps_prefix_order_without_bb_sb() {
-    let mut cfg = SimConfig::default();
-    cfg.relaxed_sb_drain = false;
-    cfg.battery_backed_sb = false;
+    let cfg = SimConfig {
+        relaxed_sb_drain: false,
+        battery_backed_sb: false,
+        ..SimConfig::default()
+    };
     let mut sys = System::new(cfg, PersistencyMode::BbbMemorySide).unwrap();
     let base = sys.address_map().persistent_base();
     sys.run_single_core(0, reorder_prone_ops(base)).unwrap();
@@ -105,8 +111,10 @@ fn tso_drain_keeps_prefix_order_without_bb_sb() {
 fn relaxed_and_tso_agree_after_full_drain() {
     let mut images = Vec::new();
     for relaxed in [false, true] {
-        let mut cfg = SimConfig::default();
-        cfg.relaxed_sb_drain = relaxed;
+        let cfg = SimConfig {
+            relaxed_sb_drain: relaxed,
+            ..SimConfig::default()
+        };
         let mut sys = System::new(cfg, PersistencyMode::BbbMemorySide).unwrap();
         let base = sys.address_map().persistent_base();
         let ops: Vec<Op> = (0..50u64)
@@ -115,9 +123,7 @@ fn relaxed_and_tso_agree_after_full_drain() {
         sys.run_single_core(0, ops).unwrap();
         sys.drain_all_store_buffers();
         let img = sys.crash_now();
-        let state: Vec<u64> = (0..10u64)
-            .map(|i| img.read_u64(base + i * 0x400))
-            .collect();
+        let state: Vec<u64> = (0..10u64).map(|i| img.read_u64(base + i * 0x400)).collect();
         images.push(state);
     }
     assert_eq!(images[0], images[1]);

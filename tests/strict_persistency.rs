@@ -90,7 +90,8 @@ fn pmem_needs_flushes_for_durability() {
     // Without flushes: stores sit in volatile caches.
     let mut sys = system(PersistencyMode::Pmem);
     let base = sys.address_map().persistent_base();
-    sys.run_single_core(0, vec![Op::store_u64(base, 7)]).unwrap();
+    sys.run_single_core(0, vec![Op::store_u64(base, 7)])
+        .unwrap();
     assert_eq!(sys.crash_now().read_u64(base), 0);
 
     // With clwb + sfence: durable.
