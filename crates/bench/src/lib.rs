@@ -10,6 +10,9 @@
 //! This crate re-exports the runner API so older call sites — and the
 //! muscle memory of `bbb_bench::run_workload` — keep working.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use bbb_runner::{
     execute_spec, geomean, json_requested, paper_config, unique_points, ExperimentSpec, Json,
     Report, RunResult, Runner, Scale, PAPER_SEED,

@@ -23,6 +23,9 @@
 //! preserving every state transition and every bbPB interaction the paper
 //! describes.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod array;
 pub mod block;
 pub mod hierarchy;

@@ -1,0 +1,105 @@
+//! Fixed-width vector clocks over core indices.
+//!
+//! Component `i` counts the stores core `i` has committed in the
+//! happens-before past of the clock's owner. A store's clock is snapshotted
+//! at commit (after bumping its own component), so the standard test
+//! applies: store `a` happens-before event `b` iff
+//! `a.vc[a.core] <= b.vc[a.core]`.
+
+/// A vector clock with one component per core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    c: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock for `cores` cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Self { c: vec![0; cores] }
+    }
+
+    /// Component `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        self.c[i]
+    }
+
+    /// Number of components (the core count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.c.len()
+    }
+
+    /// True for the zero-core clock (clippy pairs `len` with `is_empty`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.c.is_empty()
+    }
+
+    /// Increments component `i` (one more event by core `i`).
+    pub fn bump(&mut self, i: usize) {
+        self.c[i] += 1;
+    }
+
+    /// Componentwise max with `other`. Returns true when any component
+    /// actually rose (the join carried new information).
+    pub fn join(&mut self, other: &VectorClock) -> bool {
+        let mut changed = false;
+        for (a, b) in self.c.iter_mut().zip(&other.c) {
+            if *b > *a {
+                *a = *b;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Componentwise `self <= other` (the happens-before-or-equal order).
+    #[must_use]
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.c.iter().zip(&other.c).all(|(a, b)| a <= b)
+    }
+}
+
+impl std::fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.c.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_componentwise_max_and_reports_change() {
+        let mut a = VectorClock::new(3);
+        a.bump(0);
+        a.bump(0);
+        let mut b = VectorClock::new(3);
+        b.bump(1);
+        assert!(a.join(&b), "b carries a new component");
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert!(!a.join(&b), "second join learns nothing");
+    }
+
+    #[test]
+    fn leq_orders_causal_histories() {
+        let mut a = VectorClock::new(2);
+        a.bump(0);
+        let mut b = a.clone();
+        b.bump(1);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert_eq!(a.to_string(), "[1 0]");
+    }
+}

@@ -1,0 +1,29 @@
+//! `bbb-check` — a trace-based persist-order checker for the simulated
+//! machines.
+//!
+//! The simulator emits a [`bbb_sim::TraceEvent`] stream when tracing is
+//! on ([`bbb_core::System::set_tracing`]); this crate replays that stream
+//! through a vector-clock analysis ([`PersistOrderChecker`]) that checks
+//! the persistency theorem each mode claims:
+//!
+//! * battery modes (eADR, both BBB organizations): point of persistency
+//!   equals point of visibility for every store, and a battery-backed
+//!   crash loses nothing that committed;
+//! * strict PMEM: persists follow per-core program order;
+//! * BEP: persists may reorder within an epoch but never across a
+//!   barrier, nor against a cross-core happens-before edge.
+//!
+//! Violations come with a minimal witness: the two stores involved and
+//! the happens-before path that orders them. The [`litmus`] module runs
+//! canonical persistency litmus shapes against all five modes and decides
+//! allowed/forbidden verdicts empirically by sweeping crash points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod clock;
+pub mod litmus;
+
+pub use checker::{CheckReport, PersistOrderChecker, Witness, MAX_WITNESSES};
+pub use clock::VectorClock;

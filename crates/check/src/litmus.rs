@@ -1,0 +1,449 @@
+//! Persistency litmus shapes and the crash-sweep engine that evaluates
+//! them.
+//!
+//! Each [`Shape`] is a tiny Px86-style program plus a *forbidden* crash
+//! image predicate (the lost-causality outcome the shape probes for). The
+//! engine runs every shape against every [`PersistencyMode`] twice:
+//!
+//! 1. **Crash sweep** — one fresh machine per prefix of the op sequence,
+//!    crashed after the prefix; the forbidden predicate is evaluated on
+//!    every image. An observation decides the *allowed/forbidden* verdict
+//!    empirically.
+//! 2. **Checker pass** — one traced full run through
+//!    [`PersistOrderChecker`], which must report zero violations for the
+//!    battery modes and at least one witness where the shape deliberately
+//!    breaks a software discipline (flush-stripped PMEM, barrier-stripped
+//!    BEP).
+
+use bbb_core::{PersistencyMode, System};
+use bbb_cpu::Op;
+use bbb_mem::NvmImage;
+use bbb_sim::{AddressMap, SimConfig};
+
+use crate::checker::{CheckReport, PersistOrderChecker};
+
+/// Byte offsets (from the persistent heap base) of the locations the
+/// shapes use. All in distinct cache blocks.
+const X: u64 = 0x0000;
+const Y: u64 = 0x1000;
+const DATA: u64 = 0x2000;
+const FLAG: u64 = 0x3000;
+const PAD2: u64 = 0x4000;
+const PAD3: u64 = 0x5000;
+
+/// Whether the forbidden outcome may legally appear in some crash image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The outcome is reachable under this mode's persistency model.
+    Allowed,
+    /// The mode's guarantee rules the outcome out; observing it is a bug.
+    Forbidden,
+}
+
+impl Verdict {
+    /// Table label.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Verdict::Allowed => "allowed",
+            Verdict::Forbidden => "forbidden",
+        }
+    }
+}
+
+/// Expected behavior of one (shape, mode) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Expect {
+    /// Whether the forbidden outcome may appear.
+    pub verdict: Verdict,
+    /// Whether the checker must produce at least one ordering witness
+    /// (true exactly for the deliberately-broken discipline cells).
+    pub witness: bool,
+}
+
+const fn allowed(witness: bool) -> Expect {
+    Expect {
+        verdict: Verdict::Allowed,
+        witness,
+    }
+}
+
+const fn forbidden() -> Expect {
+    Expect {
+        verdict: Verdict::Forbidden,
+        witness: false,
+    }
+}
+
+/// One litmus program: ops in global execution order (per-core local
+/// clocks make this a legal interleaving), the forbidden image predicate,
+/// and the per-mode expectation.
+pub struct Shape {
+    /// Short name (table row key).
+    pub name: &'static str,
+    /// One-line description.
+    pub desc: &'static str,
+    /// Builds the op sequence for a heap based at `base`.
+    pub build: fn(u64) -> Vec<(usize, Op)>,
+    /// True when the crash image shows the forbidden outcome.
+    pub forbidden: fn(&NvmImage, u64) -> bool,
+    /// Expected verdict and witness requirement under `mode`.
+    pub expect: fn(PersistencyMode) -> Expect,
+}
+
+fn ss_build(b: u64) -> Vec<(usize, Op)> {
+    vec![(0, Op::store_u64(b + X, 1)), (0, Op::store_u64(b + Y, 1))]
+}
+
+fn ss_clwb_build(b: u64) -> Vec<(usize, Op)> {
+    vec![
+        (0, Op::store_u64(b + X, 1)),
+        (0, Op::store_u64(b + Y, 1)),
+        (0, Op::Clwb { addr: b + Y }),
+        (0, Op::Fence),
+    ]
+}
+
+fn sfs_build(b: u64) -> Vec<(usize, Op)> {
+    vec![
+        (0, Op::store_u64(b + X, 1)),
+        (0, Op::Clwb { addr: b + X }),
+        (0, Op::Fence),
+        (0, Op::store_u64(b + Y, 1)),
+        (0, Op::Clwb { addr: b + Y }),
+        (0, Op::Fence),
+    ]
+}
+
+fn epoch_build(b: u64) -> Vec<(usize, Op)> {
+    vec![
+        (0, Op::store_u64(b + X, 1)),
+        (0, Op::Fence),
+        (0, Op::store_u64(b + Y, 1)),
+    ]
+}
+
+fn xy_forbidden(img: &NvmImage, b: u64) -> bool {
+    img.read_u64(b + Y) == 1 && img.read_u64(b + X) == 0
+}
+
+/// Consumer half of the message-passing shapes: read the data, publish a
+/// flag, then pad with enough stores and compute to push the flag through
+/// a small persist buffer's capacity-threshold drain.
+fn mp_consumer() -> Vec<(usize, Op)> {
+    vec![
+        (1, Op::Compute { cycles: 3000 }),
+        (1, Op::load_u64(0)), // placeholder, patched by caller
+        (1, Op::store_u64(0, 0)),
+        (1, Op::store_u64(0, 0)),
+        (1, Op::store_u64(0, 0)),
+        (1, Op::Compute { cycles: 6000 }),
+        (1, Op::Compute { cycles: 2000 }),
+        (1, Op::Compute { cycles: 2000 }),
+        (1, Op::Compute { cycles: 2000 }),
+    ]
+}
+
+fn mp_build_with(b: u64, producer: Vec<(usize, Op)>) -> Vec<(usize, Op)> {
+    let mut ops = producer;
+    let mut consumer = mp_consumer();
+    consumer[1].1 = Op::load_u64(b + DATA);
+    consumer[2].1 = Op::store_u64(b + FLAG, 1);
+    consumer[3].1 = Op::store_u64(b + PAD2, 1);
+    consumer[4].1 = Op::store_u64(b + PAD3, 1);
+    ops.extend(consumer);
+    ops
+}
+
+fn mp_build(b: u64) -> Vec<(usize, Op)> {
+    mp_build_with(
+        b,
+        vec![
+            (0, Op::store_u64(b + DATA, 0xD0_0D)),
+            (0, Op::Compute { cycles: 9000 }),
+        ],
+    )
+}
+
+fn mp_barrier_build(b: u64) -> Vec<(usize, Op)> {
+    mp_build_with(
+        b,
+        vec![
+            (0, Op::store_u64(b + DATA, 0xD0_0D)),
+            (0, Op::Fence),
+            (0, Op::Compute { cycles: 9000 }),
+        ],
+    )
+}
+
+fn mp_forbidden(img: &NvmImage, b: u64) -> bool {
+    img.read_u64(b + FLAG) == 1 && img.read_u64(b + DATA) == 0
+}
+
+/// The canonical shape set: same-core store pairs under the three software
+/// disciplines, plus cross-core publish with and without the epoch
+/// barrier.
+#[must_use]
+pub fn shapes() -> Vec<Shape> {
+    vec![
+        Shape {
+            name: "ss",
+            desc: "st x; st y (no flushes)",
+            build: ss_build,
+            forbidden: xy_forbidden,
+            expect: |m| match m {
+                PersistencyMode::Pmem | PersistencyMode::Bep => allowed(false),
+                _ => forbidden(),
+            },
+        },
+        Shape {
+            name: "ss+clwb_y",
+            desc: "st x; st y; clwb y; sfence (flush-stripped PMEM, paper Fig. 2)",
+            build: ss_clwb_build,
+            forbidden: xy_forbidden,
+            expect: |m| match m {
+                // The younger store is flushed, the older is not: strict
+                // PMEM must flag the persist-order inversion.
+                PersistencyMode::Pmem => allowed(true),
+                // BEP allows the intra-epoch reorder without a witness.
+                PersistencyMode::Bep => allowed(false),
+                _ => forbidden(),
+            },
+        },
+        Shape {
+            name: "s+f+s",
+            desc: "st x; clwb x; sfence; st y; clwb y; sfence (full discipline)",
+            build: sfs_build,
+            forbidden: xy_forbidden,
+            expect: |_| forbidden(),
+        },
+        Shape {
+            name: "epoch",
+            desc: "st x; sfence; st y (epoch barrier, no flushes)",
+            build: epoch_build,
+            forbidden: xy_forbidden,
+            expect: |m| match m {
+                PersistencyMode::Pmem => allowed(false),
+                _ => forbidden(),
+            },
+        },
+        Shape {
+            name: "mp",
+            desc: "c0: st data | c1: ld data; st flag; pads (barrier-stripped BEP)",
+            build: mp_build,
+            forbidden: mp_forbidden,
+            expect: |m| match m {
+                PersistencyMode::Pmem => allowed(false),
+                // The flag reaches NVMM through the volatile buffer's
+                // capacity drain while the observed data does not: the
+                // checker must produce a cross-core witness.
+                PersistencyMode::Bep => allowed(true),
+                _ => forbidden(),
+            },
+        },
+        Shape {
+            name: "mp+barrier",
+            desc: "c0: st data; sfence | c1: ld data; st flag; pads (proper BEP)",
+            build: mp_barrier_build,
+            forbidden: mp_forbidden,
+            expect: |m| match m {
+                PersistencyMode::Pmem => allowed(false),
+                _ => forbidden(),
+            },
+        },
+    ]
+}
+
+/// Outcome of one (shape, mode) cell.
+#[derive(Debug)]
+pub struct LitmusRow {
+    /// Shape name.
+    pub shape: &'static str,
+    /// Mode under test.
+    pub mode: PersistencyMode,
+    /// Expected behavior.
+    pub expect: Expect,
+    /// Crash points swept (op-sequence prefixes).
+    pub crash_points: usize,
+    /// Crash points whose image showed the forbidden outcome.
+    pub observed: usize,
+    /// First crash point (prefix length) that showed it, if any.
+    pub first_observed: Option<usize>,
+    /// Checker report from the traced full run.
+    pub report: CheckReport,
+}
+
+impl LitmusRow {
+    /// True when the observation matches the verdict and the checker
+    /// produced exactly the witnesses the cell requires.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        let verdict_ok = match self.expect.verdict {
+            Verdict::Forbidden => self.observed == 0,
+            Verdict::Allowed => true,
+        };
+        let witness_ok = if self.expect.witness {
+            self.report.violations() >= 1
+        } else {
+            self.report.ok()
+        };
+        verdict_ok && witness_ok
+    }
+
+    /// Compact observed-behavior label for the verdict table.
+    #[must_use]
+    pub fn observed_label(&self) -> String {
+        if self.observed > 0 {
+            format!("hit @{}", self.first_observed.unwrap_or(0))
+        } else {
+            "never".to_owned()
+        }
+    }
+}
+
+/// The machine the litmus programs run on: the small two-core
+/// configuration, whose four-entry persist buffers make capacity-threshold
+/// drains reachable by a handful of stores.
+#[must_use]
+pub fn litmus_config() -> SimConfig {
+    SimConfig::small_for_tests()
+}
+
+/// Runs one shape under one mode: the crash sweep plus the traced checker
+/// pass.
+///
+/// # Panics
+///
+/// Panics if the configuration is rejected by [`System::new`].
+#[must_use]
+pub fn run_shape(shape: &Shape, mode: PersistencyMode) -> LitmusRow {
+    let cfg = litmus_config();
+    let base = AddressMap::new(&cfg).persistent_base();
+    let ops = (shape.build)(base);
+
+    let mut observed = 0usize;
+    let mut first_observed = None;
+    for k in 0..=ops.len() {
+        let mut sys = System::new(cfg.clone(), mode).expect("litmus config");
+        for (core, op) in &ops[..k] {
+            sys.step_op(*core, op);
+        }
+        let img = sys.crash_now();
+        if (shape.forbidden)(&img, base) {
+            observed += 1;
+            first_observed.get_or_insert(k);
+        }
+    }
+
+    let mut sys = System::new(cfg.clone(), mode).expect("litmus config");
+    sys.set_tracing(true);
+    for (core, op) in &ops {
+        sys.step_op(*core, op);
+    }
+    sys.crash_now();
+    let events = sys.take_events();
+    let report = PersistOrderChecker::run(mode, cfg.cores, &events);
+
+    LitmusRow {
+        shape: shape.name,
+        mode,
+        expect: (shape.expect)(mode),
+        crash_points: ops.len() + 1,
+        observed,
+        first_observed,
+        report,
+    }
+}
+
+/// Every shape against every persistency mode, in table order.
+#[must_use]
+pub fn run_all() -> Vec<LitmusRow> {
+    let mut rows = Vec::new();
+    for shape in &shapes() {
+        for mode in PersistencyMode::ALL {
+            rows.push(run_shape(shape, mode));
+        }
+    }
+    rows
+}
+
+/// Short mode label for table rows.
+#[must_use]
+pub const fn mode_label(mode: PersistencyMode) -> &'static str {
+    match mode {
+        PersistencyMode::Pmem => "pmem",
+        PersistencyMode::Eadr => "eadr",
+        PersistencyMode::BbbMemorySide => "bbb-mem",
+        PersistencyMode::BbbProcessorSide => "bbb-proc",
+        PersistencyMode::Bep => "bep",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_meets_its_expectation() {
+        for row in run_all() {
+            assert!(
+                row.pass(),
+                "{} under {}: expected {} (witness: {}), observed {} with {} violations",
+                row.shape,
+                mode_label(row.mode),
+                row.expect.verdict.label(),
+                row.expect.witness,
+                row.observed_label(),
+                row.report.violations()
+            );
+        }
+    }
+
+    #[test]
+    fn flush_stripped_pmem_yields_a_strict_order_witness() {
+        let shapes = shapes();
+        let shape = shapes.iter().find(|s| s.name == "ss+clwb_y").unwrap();
+        let row = run_shape(shape, PersistencyMode::Pmem);
+        assert!(row.report.violations() >= 1);
+        assert_eq!(row.report.witnesses[0].rule, "strict-order");
+        assert!(
+            !row.report.witnesses[0].path.is_empty(),
+            "witness has a path"
+        );
+    }
+
+    #[test]
+    fn barrier_stripped_bep_yields_a_cross_core_witness() {
+        let shapes = shapes();
+        let shape = shapes.iter().find(|s| s.name == "mp").unwrap();
+        let row = run_shape(shape, PersistencyMode::Bep);
+        assert!(row.report.violations() >= 1, "volatile-buffer hazard found");
+        let w = &row.report.witnesses[0];
+        assert_eq!(w.rule, "cross-core-hb");
+        assert!(
+            w.path.len() >= 2,
+            "witness carries the happens-before path: {:?}",
+            w.path
+        );
+    }
+
+    #[test]
+    fn battery_modes_satisfy_pov_pop_on_every_shape() {
+        for shape in &shapes() {
+            for mode in [
+                PersistencyMode::Eadr,
+                PersistencyMode::BbbMemorySide,
+                PersistencyMode::BbbProcessorSide,
+            ] {
+                let row = run_shape(shape, mode);
+                assert!(
+                    row.report.ok(),
+                    "{} under {}: {:?}",
+                    shape.name,
+                    mode_label(mode),
+                    row.report.witnesses
+                );
+            }
+        }
+    }
+}

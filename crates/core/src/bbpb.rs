@@ -16,7 +16,9 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bbb_sim::{BbpbConfig, BlockAddr, Counter, Cycle, MemoryPort, Stats, BLOCK_BYTES};
+use bbb_sim::{
+    BbpbConfig, BlockAddr, Counter, Cycle, MemoryPort, Stats, TraceEvent, TraceLog, BLOCK_BYTES,
+};
 
 /// Result of offering a persisting store to the bbPB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +78,11 @@ pub struct Bbpb {
     /// Sum of occupancy sampled at each allocation (avg = sum/samples).
     occupancy_sum: Counter,
     occupancy_samples: Counter,
+    /// Which core this buffer sits next to (trace attribution only; set by
+    /// `PersistState::new`).
+    pub(crate) core_id: usize,
+    /// Drain-event recorder for the persist-order checker.
+    pub(crate) trace: TraceLog,
 }
 
 impl Bbpb {
@@ -98,6 +105,8 @@ impl Bbpb {
             moves_out: Counter::new(),
             occupancy_sum: Counter::new(),
             occupancy_samples: Counter::new(),
+            core_id: 0,
+            trace: TraceLog::default(),
         }
     }
 
@@ -214,6 +223,12 @@ impl Bbpb {
             return false;
         };
         self.fifo.retain(|b| *b != block);
+        self.trace.push(TraceEvent::PbDrain {
+            core: self.core_id,
+            block,
+            cycle: now,
+            forced: true,
+        });
         let persist = mem.write_block(now, block, entry.data);
         self.in_flight.push(InFlight {
             frees_at: persist.max(now + self.drain_latency),
@@ -318,6 +333,12 @@ impl Bbpb {
             return false;
         };
         let entry = self.resident.remove(&block).expect("fifo tracks residents");
+        self.trace.push(TraceEvent::PbDrain {
+            core: self.core_id,
+            block,
+            cycle: now,
+            forced: false,
+        });
         let persist = mem.write_block(now, block, entry.data);
         self.in_flight.push(InFlight {
             frees_at: persist.max(now + self.drain_latency),

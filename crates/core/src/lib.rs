@@ -36,6 +36,9 @@
 //! # Ok::<(), bbb_core::SystemError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod bbpb;
 pub mod crash;
 pub mod memories;

@@ -16,7 +16,9 @@
 use std::collections::HashMap;
 
 use bbb_cache::{CoherenceHooks, WritebackDecision};
-use bbb_sim::{BlockAddr, Counter, Cycle, MemoryPort, SimConfig, Stats, BLOCK_BYTES};
+use bbb_sim::{
+    BlockAddr, Counter, Cycle, MemoryPort, SimConfig, Stats, TraceEvent, TraceLog, BLOCK_BYTES,
+};
 
 use crate::bbpb::{AllocOutcome, Bbpb};
 use crate::mode::PersistencyMode;
@@ -36,6 +38,9 @@ pub struct PersistState {
     holder_index: HashMap<BlockAddr, usize>,
     entry_moves: Counter,
     downgrades_kept: Counter,
+    /// Recorder for coherence-driven persistence events (entry moves,
+    /// cache evictions); per-buffer drains live in each buffer's own log.
+    trace: TraceLog,
 }
 
 impl PersistState {
@@ -45,7 +50,13 @@ impl PersistState {
     pub fn new(cfg: &SimConfig, mode: PersistencyMode) -> Self {
         let (bbpbs, procpbs) = match mode {
             PersistencyMode::BbbMemorySide => (
-                (0..cfg.cores).map(|_| Bbpb::new(&cfg.bbpb)).collect(),
+                (0..cfg.cores)
+                    .map(|c| {
+                        let mut pb = Bbpb::new(&cfg.bbpb);
+                        pb.core_id = c;
+                        pb
+                    })
+                    .collect(),
                 Vec::new(),
             ),
             // BEP's volatile persist buffers share the processor-side
@@ -54,7 +65,13 @@ impl PersistState {
             // drain, both handled by the system.
             PersistencyMode::BbbProcessorSide | PersistencyMode::Bep => (
                 Vec::new(),
-                (0..cfg.cores).map(|_| ProcSidePb::new(&cfg.bbpb)).collect(),
+                (0..cfg.cores)
+                    .map(|c| {
+                        let mut pb = ProcSidePb::new(&cfg.bbpb);
+                        pb.core_id = c;
+                        pb
+                    })
+                    .collect(),
             ),
             PersistencyMode::Pmem | PersistencyMode::Eadr => (Vec::new(), Vec::new()),
         };
@@ -66,7 +83,33 @@ impl PersistState {
             holder_index: HashMap::new(),
             entry_moves: Counter::new(),
             downgrades_kept: Counter::new(),
+            trace: TraceLog::default(),
         }
+    }
+
+    /// Enables or disables event recording in this state and every persist
+    /// buffer it owns.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+        for pb in &mut self.bbpbs {
+            pb.trace.set_enabled(on);
+        }
+        for pb in &mut self.procpbs {
+            pb.trace.set_enabled(on);
+        }
+    }
+
+    /// Drains the recorded event logs: this state's own, then each core's
+    /// buffer log in core order (the stable-merge tie order).
+    pub fn take_trace_logs(&mut self) -> Vec<Vec<TraceEvent>> {
+        let mut logs = vec![self.trace.take()];
+        for pb in &mut self.bbpbs {
+            logs.push(pb.trace.take());
+        }
+        for pb in &mut self.procpbs {
+            logs.push(pb.trace.take());
+        }
+        logs
     }
 
     /// Allocates a persisting store's block into `core`'s bbPB, keeping
@@ -147,26 +190,67 @@ impl PersistState {
     pub fn holder_of(&self, block: BlockAddr) -> Option<usize> {
         #[cfg(debug_assertions)]
         {
-            let mut holder = None;
-            for (c, pb) in self.bbpbs.iter().enumerate() {
-                if pb.contains(block) {
-                    assert!(
-                        holder.is_none(),
-                        "invariant 4 violated: {block} in multiple bbPBs"
-                    );
-                    holder = Some(c);
-                }
-            }
-            holder
+            self.holder_of_scan(block)
         }
         #[cfg(not(debug_assertions))]
         {
-            if let Some(&c) = self.holder_index.get(&block) {
-                if self.bbpbs.get(c).is_some_and(|pb| pb.contains(block)) {
-                    return Some(c);
-                }
+            self.holder_of_indexed(block)
+        }
+    }
+
+    /// The release-build answer: the block→core index in O(1), validated
+    /// against the indexed buffer, with a scan fallback for stale entries.
+    /// Always compiled so debug builds can audit it against the scan.
+    fn holder_of_indexed(&self, block: BlockAddr) -> Option<usize> {
+        if let Some(&c) = self.holder_index.get(&block) {
+            if self.bbpbs.get(c).is_some_and(|pb| pb.contains(block)) {
+                return Some(c);
             }
-            self.bbpbs.iter().position(|pb| pb.contains(block))
+        }
+        self.bbpbs.iter().position(|pb| pb.contains(block))
+    }
+
+    /// The ground truth: an exhaustive scan of every buffer, asserting
+    /// invariant 4 (at most one holder) along the way.
+    fn holder_of_scan(&self, block: BlockAddr) -> Option<usize> {
+        let mut holder = None;
+        for (c, pb) in self.bbpbs.iter().enumerate() {
+            if pb.contains(block) {
+                assert!(
+                    holder.is_none(),
+                    "invariant 4 violated: {block} in multiple bbPBs"
+                );
+                holder = Some(c);
+            }
+        }
+        holder
+    }
+
+    /// Audits the holder index against the exhaustive scan: for every
+    /// block resident in any bbPB and for every indexed block, the O(1)
+    /// release-build path must return the same holder the scan finds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first disagreement (or on an invariant-4 violation
+    /// found by the scan). Called from `System::check_invariants`, which
+    /// the debug audit runs periodically.
+    pub fn check_holder_index(&self) {
+        let check = |block: BlockAddr| {
+            let indexed = self.holder_of_indexed(block);
+            let scanned = self.holder_of_scan(block);
+            assert_eq!(
+                indexed, scanned,
+                "holder index diverged from scan for {block}"
+            );
+        };
+        for pb in &self.bbpbs {
+            for (block, _) in pb.drain_set() {
+                check(block);
+            }
+        }
+        for &block in self.holder_index.keys() {
+            check(block);
         }
     }
 
@@ -218,6 +302,12 @@ impl CoherenceHooks for PersistState {
             PersistencyMode::BbbMemorySide => {
                 if let Some(data) = self.bbpbs[victim].take_for_move(block) {
                     self.entry_moves.inc();
+                    self.trace.push(TraceEvent::PbMove {
+                        from: victim,
+                        to: requester,
+                        block,
+                        cycle: now,
+                    });
                     self.bbpbs[requester].insert_moved(now, block, data, mem);
                     self.holder_index.insert(block, requester);
                     debug_assert_eq!(self.holder_of(block), Some(requester));
@@ -248,7 +338,7 @@ impl CoherenceHooks for PersistState {
         persistent: bool,
         mem: &mut dyn MemoryPort,
     ) -> WritebackDecision {
-        match self.mode {
+        let decision = match self.mode {
             PersistencyMode::BbbMemorySide => {
                 // Dirty-inclusion: drain the bbPB entry (if one exists)
                 // before the LLC line disappears, so an LLC miss never has
@@ -270,10 +360,23 @@ impl CoherenceHooks for PersistState {
             | PersistencyMode::Bep
             | PersistencyMode::Pmem
             | PersistencyMode::Eadr => WritebackDecision::WriteBack,
-        }
+        };
+        self.trace.push(TraceEvent::LlcEvict {
+            block,
+            cycle: now,
+            dirty: true,
+            suppressed: decision == WritebackDecision::Suppress,
+        });
+        decision
     }
 
     fn on_llc_clean_evict(&mut self, now: Cycle, block: BlockAddr, mem: &mut dyn MemoryPort) {
+        self.trace.push(TraceEvent::LlcEvict {
+            block,
+            cycle: now,
+            dirty: false,
+            suppressed: false,
+        });
         if self.mode == PersistencyMode::BbbMemorySide {
             if let Some(holder) = self.holder_of(block) {
                 self.bbpbs[holder].force_drain(now, block, mem);
@@ -283,6 +386,11 @@ impl CoherenceHooks for PersistState {
     }
 
     fn on_l1_evict(&mut self, now: Cycle, block: BlockAddr, core: usize, mem: &mut dyn MemoryPort) {
+        self.trace.push(TraceEvent::L1Evict {
+            core,
+            block,
+            cycle: now,
+        });
         // bbPB self-L1 inclusion: once the L1 copy leaves, no coherence
         // message can reach this bbPB about the block, so drain it now.
         if self.mode == PersistencyMode::BbbMemorySide && self.bbpbs[core].contains(block) {
@@ -433,6 +541,72 @@ mod tests {
         s.allocate_block(1, 20, b(6), [2; 64], &mut n);
         s.bbpb_mut(1).force_drain(21, b(6), &mut n);
         assert_eq!(s.holder_of(b(6)), None);
+    }
+
+    #[test]
+    fn holder_index_and_scan_agree_after_coalesce_and_forced_drain() {
+        // Satellite fix coverage: the O(1) index path (`holder_of_indexed`)
+        // must match the exhaustive scan after the two operations that
+        // historically let it go stale — a coalescing re-allocation on a
+        // different core's path, and a forced drain behind the index's back.
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        s.allocate_block(0, 0, b(11), [1; 64], &mut n);
+        s.allocate_block(0, 1, b(11), [2; 64], &mut n); // coalesce
+        s.check_holder_index();
+        assert_eq!(s.holder_of_indexed(b(11)), s.holder_of_scan(b(11)));
+        // Migrate, then force-drain via the buffer directly so the index
+        // still maps the block to core 1.
+        s.on_remote_invalidate(5, b(11), 0, 1, &mut n);
+        s.check_holder_index();
+        s.bbpb_mut(1).force_drain(10, b(11), &mut n);
+        assert_eq!(
+            s.holder_index.get(&b(11)),
+            Some(&1),
+            "index entry is stale by construction"
+        );
+        s.check_holder_index();
+        assert_eq!(s.holder_of_indexed(b(11)), None, "validated fast path");
+        assert_eq!(s.holder_of_scan(b(11)), None);
+    }
+
+    #[test]
+    fn tracing_cascades_to_buffers_and_records_moves() {
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        s.set_tracing(true);
+        s.allocate_block(0, 0, b(3), [1; 64], &mut n);
+        s.on_remote_invalidate(5, b(3), 0, 1, &mut n);
+        s.on_llc_dirty_evict(9, b(3), &[1; 64], true, &mut n);
+        let logs = s.take_trace_logs();
+        let all: Vec<TraceEvent> = logs.into_iter().flatten().collect();
+        assert!(
+            all.iter()
+                .any(|e| matches!(e, TraceEvent::PbMove { from: 0, to: 1, .. })),
+            "move recorded: {all:?}"
+        );
+        assert!(
+            all.iter().any(|e| matches!(
+                e,
+                TraceEvent::PbDrain {
+                    core: 1,
+                    forced: true,
+                    ..
+                }
+            )),
+            "forced drain recorded in core 1's buffer log: {all:?}"
+        );
+        assert!(
+            all.iter().any(|e| matches!(
+                e,
+                TraceEvent::LlcEvict {
+                    dirty: true,
+                    suppressed: true,
+                    ..
+                }
+            )),
+            "eviction recorded: {all:?}"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 
-use bbb_sim::{BbpbConfig, BlockAddr, Counter, Cycle, MemoryPort, Stats};
+use bbb_sim::{BbpbConfig, BlockAddr, Counter, Cycle, MemoryPort, Stats, TraceEvent, TraceLog};
 
 use crate::bbpb::AllocOutcome;
 
@@ -60,6 +60,11 @@ pub struct ProcSidePb {
     coalesces: Counter,
     rejections: Counter,
     drains: Counter,
+    /// Which core this buffer sits next to (trace attribution only; set by
+    /// `PersistState::new`).
+    pub(crate) core_id: usize,
+    /// Drain-event recorder for the persist-order checker.
+    pub(crate) trace: TraceLog,
 }
 
 impl ProcSidePb {
@@ -77,6 +82,8 @@ impl ProcSidePb {
             coalesces: Counter::new(),
             rejections: Counter::new(),
             drains: Counter::new(),
+            core_id: 0,
+            trace: TraceLog::default(),
         }
     }
 
@@ -239,6 +246,12 @@ impl ProcSidePb {
         let Some(e) = self.entries.pop_front() else {
             return false;
         };
+        self.trace.push(TraceEvent::PbDrain {
+            core: self.core_id,
+            block: e.block,
+            cycle: now,
+            forced: false,
+        });
         // Read-modify-write of the target block at the controller.
         let persist = mem.rmw_block(now, e.block, e.offset, &e.bytes[..e.len]);
         self.in_flight.push(persist.max(now + self.drain_latency));

@@ -23,7 +23,9 @@ use std::fmt;
 use bbb_cache::CacheHierarchy;
 use bbb_cpu::{CoreState, Op, SbEntry};
 use bbb_mem::{ByteStore, NvmImage};
-use bbb_sim::{AddressMap, BlockAddr, Cycle, MemoryPort, SimConfig, Stats};
+use bbb_sim::{
+    merge_logs, AddressMap, BlockAddr, Cycle, MemoryPort, SimConfig, Stats, TraceEvent, TraceLog,
+};
 
 use crate::crash::CrashCost;
 use crate::memories::Memories;
@@ -149,7 +151,20 @@ pub struct System {
     cores: Vec<CoreState>,
     arch: ByteStore,
     now_max: Cycle,
+    /// Pipeline-level event recorder (store commit/visibility, persist
+    /// allocation, loads, fences, flushes, crashes). Component logs live
+    /// in `persist` and the NVMM controller; [`System::take_events`]
+    /// merges them all.
+    trace: TraceLog,
+    /// Ops committed since the last periodic debug audit.
+    audit_countdown: u32,
 }
+
+/// How many committed ops the always-on debug audit lets pass between
+/// [`System::check_invariants`] sweeps. Large enough that debug test runs
+/// stay fast; small enough that every multi-thousand-op sweep is audited
+/// many times.
+const DEBUG_AUDIT_PERIOD: u32 = 4096;
 
 impl fmt::Debug for System {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -193,7 +208,29 @@ impl System {
             cores,
             arch: ByteStore::new(),
             now_max: 0,
+            trace: TraceLog::default(),
+            audit_countdown: 0,
         })
+    }
+
+    /// Enables or disables event tracing across every component (the
+    /// pipeline, persist buffers, and the NVMM controller). Off by
+    /// default; the persist-order checker (`bbb-check`) turns it on.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+        self.persist.set_tracing(on);
+        self.memories.nvmm_mut().set_tracing(on);
+    }
+
+    /// Drains every component's event log into one cycle-ordered stream.
+    /// Ties within a cycle keep component order: pipeline events first,
+    /// then persist-state and per-core buffer events, then NVMM
+    /// persist-point events.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        let mut logs = vec![self.trace.take()];
+        logs.extend(self.persist.take_trace_logs());
+        logs.push(self.memories.nvmm_mut().take_trace());
+        merge_logs(logs)
     }
 
     /// The machine configuration.
@@ -394,7 +431,7 @@ impl System {
             Op::Compute { cycles } => now + Cycle::from(cycles),
             Op::Load { addr, .. } => {
                 let block = BlockAddr::containing(addr);
-                if self.cores[core].sb.holds_block(block) {
+                let done = if self.cores[core].sb.holds_block(block) {
                     // Store-to-load forwarding from the SB.
                     now + self.cfg.l1d.latency
                 } else {
@@ -406,7 +443,13 @@ impl System {
                         &mut self.persist,
                     );
                     res.completion
-                }
+                };
+                self.trace.push(TraceEvent::LoadCommit {
+                    core,
+                    block,
+                    cycle: done,
+                });
+                done
             }
             Op::Store { addr, size, bytes } => {
                 let block = BlockAddr::containing(addr);
@@ -422,6 +465,7 @@ impl System {
                     self.cores[core].sb_full_stalls.add(freed.saturating_sub(t));
                     t = t.max(freed);
                 }
+                let seq = self.cores[core].stores.get();
                 let entry = SbEntry {
                     block,
                     offset,
@@ -429,8 +473,16 @@ impl System {
                     bytes,
                     persistent,
                     committed: t,
+                    seq,
                 };
                 self.cores[core].sb.push(entry).expect("space ensured");
+                self.trace.push(TraceEvent::StoreCommit {
+                    core,
+                    block,
+                    seq,
+                    persistent,
+                    cycle: t,
+                });
                 // Architectural memory reflects *committed* stores only.
                 // Workload generators read it to plan their next ops, so
                 // writing it here (not at op-generation time) is what
@@ -451,6 +503,12 @@ impl System {
                 let t = self.drain_sb_all(core, now);
                 let block = BlockAddr::containing(addr);
                 let f = self.hierarchy.flush(t, core, block, &mut self.memories);
+                self.trace.push(TraceEvent::Flush {
+                    core,
+                    block,
+                    cycle: f.persist,
+                    wrote_back: f.wrote_back,
+                });
                 self.cores[core].record_flush(f.persist);
                 t + 1
             }
@@ -470,12 +528,25 @@ impl System {
                     .fence_stall_cycles
                     .add(done.saturating_sub(now));
                 self.cores[core].fences.inc();
+                self.trace
+                    .push(TraceEvent::EpochBarrier { core, cycle: done });
                 done
             }
         };
         self.cores[core].committed.inc();
         self.cores[core].ready_at = end.max(now);
         self.now_max = self.now_max.max(self.cores[core].ready_at);
+        // Always-on debug audit: every few thousand committed ops, sweep
+        // the coherence, inclusion, and holder-index invariants so every
+        // debug test and crashfuzz sweep runs them for free. Release
+        // builds keep only the counter arithmetic.
+        self.audit_countdown += 1;
+        if self.audit_countdown >= DEBUG_AUDIT_PERIOD {
+            self.audit_countdown = 0;
+            if cfg!(debug_assertions) {
+                self.check_invariants();
+            }
+        }
     }
 
     /// Injects a power failure *now*: drains exactly the active persistence
@@ -484,6 +555,7 @@ impl System {
     pub fn crash_now(&mut self) -> NvmImage {
         let now = self.now_max;
         let mode = self.persist.mode();
+        self.memories.nvmm_mut().note_crash(now, true);
         match mode {
             PersistencyMode::Pmem => {
                 // ADR: only the WPQ survives (already merged into media).
@@ -535,6 +607,7 @@ impl System {
     /// exhibit lost updates relative to [`System::crash_now`] at the same
     /// point, proving the recovery checkers detect real inconsistency.
     pub fn crash_now_battery_dropped(&mut self) -> NvmImage {
+        self.memories.nvmm_mut().note_crash(self.now_max, false);
         for c in 0..self.cores.len() {
             match self.persist.mode() {
                 PersistencyMode::BbbMemorySide => {
@@ -660,6 +733,9 @@ impl System {
     /// Panics (with a description) on the first violation.
     pub fn check_invariants(&self) {
         self.hierarchy.check_invariants();
+        // The O(1) holder index must agree with the exhaustive scan for
+        // every resident or indexed block (satellite fix audit).
+        self.persist.check_holder_index();
         if self.persist.mode() == PersistencyMode::BbbMemorySide {
             // Invariant 4 + LLC inclusion: every bbPB-resident block is in
             // the L2 and in at most one bbPB.
@@ -744,6 +820,12 @@ impl System {
             &mut self.persist,
         );
         let mut done = res.completion;
+        self.trace.push(TraceEvent::StoreVisible {
+            core,
+            block: e.block,
+            seq: e.seq,
+            cycle: done,
+        });
         if e.persistent {
             match self.persist.mode() {
                 PersistencyMode::BbbMemorySide => {
@@ -754,9 +836,19 @@ impl System {
                     let out =
                         self.persist
                             .allocate_block(core, done, e.block, data, &mut self.memories);
+                    self.trace.push(TraceEvent::PersistAlloc {
+                        core,
+                        block: e.block,
+                        seq: e.seq,
+                        cycle: out.done,
+                        coalesced: out.coalesced,
+                        rejected: out.rejected,
+                        battery: true,
+                    });
                     done = out.done.max(done);
                 }
                 PersistencyMode::BbbProcessorSide | PersistencyMode::Bep => {
+                    let battery = self.persist.mode() == PersistencyMode::BbbProcessorSide;
                     let out = self.persist.procpb_mut(core).push(
                         done,
                         e.block,
@@ -764,6 +856,15 @@ impl System {
                         &e.bytes[..e.len],
                         &mut self.memories,
                     );
+                    self.trace.push(TraceEvent::PersistAlloc {
+                        core,
+                        block: e.block,
+                        seq: e.seq,
+                        cycle: out.done,
+                        coalesced: out.coalesced,
+                        rejected: out.rejected,
+                        battery,
+                    });
                     done = out.done.max(done);
                 }
                 PersistencyMode::Pmem | PersistencyMode::Eadr => {}

@@ -14,6 +14,9 @@
 //! persistency mode, so every normalized comparison (BBB vs eADR vs PMEM)
 //! sees identical instruction streams.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod core_state;
 pub mod op;
 pub mod store_buffer;

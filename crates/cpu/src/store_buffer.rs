@@ -28,6 +28,10 @@ pub struct SbEntry {
     pub persistent: bool,
     /// Commit cycle (for stats and battery-backed drain ordering).
     pub committed: Cycle,
+    /// Per-core store sequence number assigned at commit; correlates the
+    /// commit, visibility, and persist-allocation trace events of one
+    /// store across component logs.
+    pub seq: u64,
 }
 
 /// A fixed-capacity FIFO store buffer.
@@ -46,6 +50,7 @@ pub struct SbEntry {
 ///     bytes: [0; 8],
 ///     persistent: true,
 ///     committed: 0,
+///     seq: 0,
 /// };
 /// sb.push(e).unwrap();
 /// assert_eq!(sb.len(), 1);
@@ -157,6 +162,7 @@ mod tests {
             bytes: [i as u8; 8],
             persistent: false,
             committed: i,
+            seq: i,
         }
     }
 

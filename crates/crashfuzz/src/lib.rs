@@ -31,6 +31,9 @@
 //! experiment-runner worker pool (`bbb_runner::Runner::map`) and reports
 //! through the shared ASCII/JSON report layer.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod grid;
 pub mod shrink;
 pub mod sweep;

@@ -12,6 +12,9 @@
 //! under a mode that guarantees consistency (the reproducer test is
 //! printed, shrunk), or a negative oracle that drew no blood.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use bbb_core::PersistencyMode;
 use bbb_crashfuzz::{
     lost_updates_observable, shrink, sweep, GridSpec, SweepConfig, SweepOutcome, CRASHFUZZ_SEED,

@@ -21,6 +21,9 @@
 //!    drain energy; applied identically to eADR and BBB so every reported
 //!    ratio is preserved).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod battery;
 pub mod costs;
 pub mod drain;

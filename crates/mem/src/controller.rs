@@ -6,7 +6,7 @@
 //! owns the [`WritePendingQueue`] (the ADR persistence domain) and an
 //! [`EnduranceTracker`].
 
-use bbb_sim::{BlockAddr, Counter, Cycle, MemTiming, Stats, BLOCK_BYTES};
+use bbb_sim::{BlockAddr, Counter, Cycle, MemTiming, Stats, TraceEvent, TraceLog, BLOCK_BYTES};
 
 use crate::backing::ByteStore;
 use crate::endurance::EnduranceTracker;
@@ -122,6 +122,7 @@ pub struct NvmmController {
     endurance: EnduranceTracker,
     reads: Counter,
     wpq_read_hits: Counter,
+    trace: TraceLog,
 }
 
 impl NvmmController {
@@ -138,7 +139,30 @@ impl NvmmController {
             endurance: EnduranceTracker::new(),
             reads: Counter::new(),
             wpq_read_hits: Counter::new(),
+            trace: TraceLog::default(),
         }
+    }
+
+    /// Enables or disables [`TraceEvent::NvmmWrite`] recording.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Drains the recorded persist-point events.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
+    }
+
+    /// Records a power failure in the controller's own log, so that
+    /// accepts recorded *before* it stay before it in the merged stream
+    /// even when their persist cycles tie with the crash cycle (the
+    /// cross-log merge is only cycle-granular; the checker relies on
+    /// crash-drain writes, and only those, following the crash marker).
+    pub fn note_crash(&mut self, now: Cycle, battery_ok: bool) {
+        self.trace.push(TraceEvent::Crash {
+            cycle: now,
+            battery_ok,
+        });
     }
 
     /// Reads a block; returns `(completion_cycle, data)`. Reads that hit a
@@ -162,6 +186,11 @@ impl NvmmController {
         let accept = self
             .wpq
             .offer(now, block, &mut self.write_channels, self.write_latency);
+        self.trace.push(TraceEvent::NvmmWrite {
+            block,
+            cycle: accept.persist,
+            coalesced: accept.coalesced,
+        });
         // Media bytes reflect the WPQ contents immediately: the queue is
         // inside the persistence domain, so for crash purposes queued data
         // and media data are equivalent.

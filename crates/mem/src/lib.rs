@@ -25,6 +25,9 @@
 //! assert_eq!(image.read_block(block)[0], 0xAB);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod backing;
 pub mod controller;
 pub mod endurance;

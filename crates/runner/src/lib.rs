@@ -32,6 +32,9 @@
 //!   percent of eADR),
 //! * `paper` — 1M-node structures, long runs.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod json;
 pub mod report;
 pub mod runner;

@@ -23,6 +23,9 @@
 //! assert!(map.is_nvmm(map.persistent_base()));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod addr;
 pub mod clock;
 pub mod config;
@@ -30,6 +33,7 @@ pub mod port;
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 pub use addr::{Addr, AddressMap, BlockAddr, Region, BLOCK_BYTES, BLOCK_SHIFT};
 pub use clock::{Cycle, CLOCK_GHZ};
@@ -38,6 +42,7 @@ pub use port::MemoryPort;
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, Stats};
 pub use table::Table;
+pub use trace::{merge_logs, TraceEvent, TraceLog};
 
 // Experiment points run off-thread in the experiment runner: the
 // configuration crosses into workers and the stats snapshot crosses back.

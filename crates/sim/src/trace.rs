@@ -1,0 +1,441 @@
+//! Event tracing for the persist-order checker.
+//!
+//! The simulator is instrumented with a lightweight event stream: every
+//! layer that moves a store closer to (or away from) durability records a
+//! [`TraceEvent`] into a [`TraceLog`]. The logs are plain owned `Vec`s —
+//! no shared interior mutability — so `System` stays `Clone + Send` and a
+//! crash-fuzz fork carries an independent copy of its trace.
+//!
+//! Tracing is off by default: a disabled log drops events in `push`, so
+//! the hot path costs one branch. `bbb-check` enables it, merges the
+//! per-component logs by cycle, and replays the stream through the
+//! vector-clock analyses described in DESIGN.md.
+
+use crate::{BlockAddr, Cycle};
+
+/// One observable step in the life of a store (or of the machine).
+///
+/// `seq` fields are per-core store sequence numbers assigned at commit;
+/// they let the checker correlate the commit, L1D-visibility, and
+/// persist-buffer-allocation events of one store across component logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A store left the core and entered the post-commit store buffer.
+    StoreCommit {
+        /// Committing core.
+        core: usize,
+        /// Target cache block.
+        block: BlockAddr,
+        /// Per-core store sequence number.
+        seq: u64,
+        /// True when the target lies in the persistent heap.
+        persistent: bool,
+        /// Commit cycle.
+        cycle: Cycle,
+    },
+    /// A store drained from the store buffer into the L1D: its point of
+    /// visibility to other cores.
+    StoreVisible {
+        /// Storing core.
+        core: usize,
+        /// Target cache block.
+        block: BlockAddr,
+        /// Per-core store sequence number.
+        seq: u64,
+        /// Cycle the L1D write completed.
+        cycle: Cycle,
+    },
+    /// A persisting store was offered to a persist buffer (bbPB or the
+    /// processor-side buffer) at its point of visibility.
+    PersistAlloc {
+        /// Storing core.
+        core: usize,
+        /// Target cache block.
+        block: BlockAddr,
+        /// Per-core store sequence number.
+        seq: u64,
+        /// Allocation cycle (equals the visibility cycle unless rejected).
+        cycle: Cycle,
+        /// True when the store merged into an already-resident entry.
+        coalesced: bool,
+        /// True when the buffer was full and the store stalled for a slot
+        /// (the alloc cycle then trails the visibility cycle).
+        rejected: bool,
+        /// True when the buffer is inside the battery persistence domain
+        /// (bbPB designs), false for BEP's volatile buffer.
+        battery: bool,
+    },
+    /// A persist-buffer entry drained to the NVMM write-pending queue.
+    PbDrain {
+        /// Core owning the buffer.
+        core: usize,
+        /// Drained block.
+        block: BlockAddr,
+        /// Cycle the drain packet left the buffer.
+        cycle: Cycle,
+        /// True for drains forced by coherence or eviction rather than
+        /// the capacity-threshold policy.
+        forced: bool,
+    },
+    /// A bbPB entry migrated to another core's buffer on an ownership
+    /// transfer (memory-side design, paper §III-A).
+    PbMove {
+        /// Previous holder.
+        from: usize,
+        /// New holder.
+        to: usize,
+        /// Migrated block.
+        block: BlockAddr,
+        /// Transfer cycle.
+        cycle: Cycle,
+    },
+    /// An L1D victim was evicted (self-inclusion drain for the holder's
+    /// bbPB entry, if any).
+    L1Evict {
+        /// Evicting core.
+        core: usize,
+        /// Victim block.
+        block: BlockAddr,
+        /// Eviction cycle.
+        cycle: Cycle,
+    },
+    /// An LLC victim was evicted.
+    LlcEvict {
+        /// Victim block.
+        block: BlockAddr,
+        /// Eviction cycle.
+        cycle: Cycle,
+        /// True when the victim was dirty.
+        dirty: bool,
+        /// True when the dirty writeback was suppressed by the bbPB
+        /// endurance optimization (paper §III-B).
+        suppressed: bool,
+    },
+    /// The NVMM controller accepted a block into its write-pending queue:
+    /// the ADR point of persistency.
+    NvmmWrite {
+        /// Persisted block.
+        block: BlockAddr,
+        /// Accept cycle.
+        cycle: Cycle,
+        /// True when the write merged with a queued entry for the block.
+        coalesced: bool,
+    },
+    /// An epoch barrier (`sfence`/`ofence` class) retired on a core.
+    EpochBarrier {
+        /// Fencing core.
+        core: usize,
+        /// Retire cycle.
+        cycle: Cycle,
+    },
+    /// A `clwb`-class writeback instruction retired.
+    Flush {
+        /// Flushing core.
+        core: usize,
+        /// Flushed block.
+        block: BlockAddr,
+        /// Completion cycle.
+        cycle: Cycle,
+        /// True when a dirty copy was actually pushed toward memory.
+        wrote_back: bool,
+    },
+    /// A load retired (read visibility; the checker derives reads-from
+    /// happens-before edges from these).
+    LoadCommit {
+        /// Loading core.
+        core: usize,
+        /// Read block.
+        block: BlockAddr,
+        /// Retire cycle.
+        cycle: Cycle,
+    },
+    /// Power failed. Events after this record the battery-backed drain
+    /// (or its absence when `battery_ok` is false).
+    Crash {
+        /// Cycle of the failure.
+        cycle: Cycle,
+        /// False models a dead/dropped battery (negative oracle).
+        battery_ok: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle at which the event occurred (merge key).
+    #[must_use]
+    pub const fn cycle(&self) -> Cycle {
+        match *self {
+            TraceEvent::StoreCommit { cycle, .. }
+            | TraceEvent::StoreVisible { cycle, .. }
+            | TraceEvent::PersistAlloc { cycle, .. }
+            | TraceEvent::PbDrain { cycle, .. }
+            | TraceEvent::PbMove { cycle, .. }
+            | TraceEvent::L1Evict { cycle, .. }
+            | TraceEvent::LlcEvict { cycle, .. }
+            | TraceEvent::NvmmWrite { cycle, .. }
+            | TraceEvent::EpochBarrier { cycle, .. }
+            | TraceEvent::Flush { cycle, .. }
+            | TraceEvent::LoadCommit { cycle, .. }
+            | TraceEvent::Crash { cycle, .. } => cycle,
+        }
+    }
+
+    /// A stable snake_case tag for the event kind (golden traces, JSON).
+    #[must_use]
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::StoreCommit { .. } => "store_commit",
+            TraceEvent::StoreVisible { .. } => "store_visible",
+            TraceEvent::PersistAlloc { .. } => "persist_alloc",
+            TraceEvent::PbDrain { .. } => "pb_drain",
+            TraceEvent::PbMove { .. } => "pb_move",
+            TraceEvent::L1Evict { .. } => "l1_evict",
+            TraceEvent::LlcEvict { .. } => "llc_evict",
+            TraceEvent::NvmmWrite { .. } => "nvmm_write",
+            TraceEvent::EpochBarrier { .. } => "epoch_barrier",
+            TraceEvent::Flush { .. } => "flush",
+            TraceEvent::LoadCommit { .. } => "load_commit",
+            TraceEvent::Crash { .. } => "crash",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    /// Compact cycle-free rendering used by the golden-trace tests: the
+    /// event kind plus its identifying operands. Cycles are deliberately
+    /// omitted so timing-model tweaks do not churn golden sequences.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TraceEvent::StoreCommit {
+                core,
+                block,
+                seq,
+                persistent,
+                ..
+            } => {
+                let p = if persistent { " p" } else { "" };
+                write!(f, "store_commit c{core} b{:#x} s{seq}{p}", block.index())
+            }
+            TraceEvent::StoreVisible {
+                core, block, seq, ..
+            } => {
+                write!(f, "store_visible c{core} b{:#x} s{seq}", block.index())
+            }
+            TraceEvent::PersistAlloc {
+                core,
+                block,
+                seq,
+                coalesced,
+                rejected,
+                ..
+            } => {
+                let c = if coalesced { " coalesced" } else { "" };
+                let r = if rejected { " rejected" } else { "" };
+                write!(
+                    f,
+                    "persist_alloc c{core} b{:#x} s{seq}{c}{r}",
+                    block.index()
+                )
+            }
+            TraceEvent::PbDrain {
+                core,
+                block,
+                forced,
+                ..
+            } => {
+                let fr = if forced { " forced" } else { "" };
+                write!(f, "pb_drain c{core} b{:#x}{fr}", block.index())
+            }
+            TraceEvent::PbMove {
+                from, to, block, ..
+            } => {
+                write!(f, "pb_move c{from}->c{to} b{:#x}", block.index())
+            }
+            TraceEvent::L1Evict { core, block, .. } => {
+                write!(f, "l1_evict c{core} b{:#x}", block.index())
+            }
+            TraceEvent::LlcEvict {
+                block,
+                dirty,
+                suppressed,
+                ..
+            } => {
+                let d = if dirty { " dirty" } else { "" };
+                let s = if suppressed { " suppressed" } else { "" };
+                write!(f, "llc_evict b{:#x}{d}{s}", block.index())
+            }
+            TraceEvent::NvmmWrite {
+                block, coalesced, ..
+            } => {
+                let c = if coalesced { " coalesced" } else { "" };
+                write!(f, "nvmm_write b{:#x}{c}", block.index())
+            }
+            TraceEvent::EpochBarrier { core, .. } => write!(f, "epoch_barrier c{core}"),
+            TraceEvent::Flush {
+                core,
+                block,
+                wrote_back,
+                ..
+            } => {
+                let wb = if wrote_back { " wb" } else { "" };
+                write!(f, "flush c{core} b{:#x}{wb}", block.index())
+            }
+            TraceEvent::LoadCommit { core, block, .. } => {
+                write!(f, "load_commit c{core} b{:#x}", block.index())
+            }
+            TraceEvent::Crash { battery_ok, .. } => {
+                let b = if battery_ok { "battery" } else { "no-battery" };
+                write!(f, "crash {b}")
+            }
+        }
+    }
+}
+
+/// An owned, cloneable event recorder.
+///
+/// Disabled by default; [`TraceLog::push`] is a no-op until
+/// [`TraceLog::set_enabled`] turns recording on.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::{BlockAddr, TraceEvent, TraceLog};
+///
+/// let mut log = TraceLog::default();
+/// log.push(TraceEvent::EpochBarrier { core: 0, cycle: 10 });
+/// assert!(log.is_empty(), "disabled logs drop events");
+/// log.set_enabled(true);
+/// log.push(TraceEvent::EpochBarrier { core: 0, cycle: 10 });
+/// assert_eq!(log.take().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Turns recording on or off. Turning it off keeps already-recorded
+    /// events.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// True when `push` records.
+    #[must_use]
+    pub const fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` if the log is enabled.
+    #[inline]
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Removes and returns every recorded event (in recording order).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Recorded events so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Merges per-component logs into one cycle-ordered stream.
+///
+/// The sort is stable, so events recorded by the same component at the
+/// same cycle keep their recording order, and ties across components keep
+/// the caller's log order (pass logs upstream-first: core pipeline,
+/// persist buffers, memory controller).
+#[must_use]
+pub fn merge_logs(logs: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let mut all: Vec<TraceEvent> = logs.into_iter().flatten().collect();
+    all.sort_by_key(TraceEvent::cycle);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockAddr;
+
+    fn ev(cycle: Cycle, core: usize) -> TraceEvent {
+        TraceEvent::EpochBarrier { core, cycle }
+    }
+
+    #[test]
+    fn disabled_log_drops_events() {
+        let mut log = TraceLog::default();
+        log.push(ev(1, 0));
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn enabled_log_records_and_takes() {
+        let mut log = TraceLog::default();
+        log.set_enabled(true);
+        log.push(ev(1, 0));
+        log.push(ev(2, 1));
+        assert_eq!(log.len(), 2);
+        let events = log.take();
+        assert_eq!(events.len(), 2);
+        assert!(log.is_empty(), "take drains the log");
+        assert!(log.is_enabled(), "take keeps recording on");
+    }
+
+    #[test]
+    fn clone_forks_the_log() {
+        let mut log = TraceLog::default();
+        log.set_enabled(true);
+        log.push(ev(1, 0));
+        let mut fork = log.clone();
+        fork.push(ev(2, 0));
+        assert_eq!(log.len(), 1, "parent unaffected by fork's push");
+        assert_eq!(fork.len(), 2);
+    }
+
+    #[test]
+    fn merge_is_cycle_ordered_and_stable() {
+        let a = vec![ev(5, 0), ev(5, 1), ev(9, 0)];
+        let b = vec![ev(1, 2), ev(5, 2)];
+        let merged = merge_logs(vec![a, b]);
+        let cycles: Vec<Cycle> = merged.iter().map(TraceEvent::cycle).collect();
+        assert_eq!(cycles, vec![1, 5, 5, 5, 9]);
+        // Stability: within cycle 5, log `a`'s events precede log `b`'s.
+        let cores: Vec<usize> = merged
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::EpochBarrier { core, cycle: 5 } => Some(*core),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cores, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_is_compact_and_cycle_free() {
+        let e = TraceEvent::StoreCommit {
+            core: 3,
+            block: BlockAddr::from_index(0x10),
+            seq: 7,
+            persistent: true,
+            cycle: 999,
+        };
+        assert_eq!(e.to_string(), "store_commit c3 b0x10 s7 p");
+        assert!(!e.to_string().contains("999"));
+        assert_eq!(e.kind(), "store_commit");
+        assert_eq!(e.cycle(), 999);
+    }
+}

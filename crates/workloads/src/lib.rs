@@ -23,6 +23,9 @@
 //! prefix state. Per-structure checkers validate exactly that against a
 //! post-crash [`bbb_mem::NvmImage`].
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod arrays;
 pub mod btree;
 pub mod builder;

@@ -18,7 +18,10 @@
 //!   and the shared ASCII/JSON report layer,
 //! * [`crashfuzz`] — the crash-point sweep harness: dense/random/boundary
 //!   power-failure injection, differential negative oracles, and failure
-//!   shrinking to minimal regression tests.
+//!   shrinking to minimal regression tests,
+//! * [`check`] — the trace-based persist-order checker: vector-clock
+//!   PoV/PoP analysis over the simulator's event stream and the
+//!   persistency litmus front-end.
 //!
 //! # Quickstart
 //!
@@ -36,7 +39,11 @@
 //! # Ok::<(), bbb::core::SystemError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use bbb_cache as cache;
+pub use bbb_check as check;
 pub use bbb_core as core;
 pub use bbb_cpu as cpu;
 pub use bbb_crashfuzz as crashfuzz;

@@ -1,7 +1,12 @@
 //! Memory-model litmus tests for the simulated machine: the coherence and
 //! TSO-visibility properties every persistency argument in the paper rests
 //! on. Run on the full 8-core Table III configuration.
+//!
+//! The second half drives the same shapes through `bbb-check`'s
+//! persistency litmus engine, which sweeps crash points and replays each
+//! traced run through the vector-clock persist-order checker.
 
+use bbb::check::litmus::{mode_label, run_all, run_shape, shapes, Verdict};
 use bbb::core::{PersistencyMode, System};
 use bbb::cpu::Op;
 use bbb::sim::SimConfig;
@@ -129,4 +134,69 @@ fn independent_writers_keep_their_own_causality() {
     if img.read_u64(f1) == 1 {
         assert_eq!(img.read_u64(d1), 0xBB);
     }
+}
+
+/// The persistency litmus matrix: every shape under every mode must match
+/// its expected allowed/forbidden verdict, and the checker must be silent
+/// except where a shape deliberately breaks a software discipline.
+#[test]
+fn persistency_litmus_matrix_matches_expectations() {
+    let rows = run_all();
+    assert_eq!(rows.len(), shapes().len() * PersistencyMode::ALL.len());
+    for row in &rows {
+        assert!(
+            row.pass(),
+            "{} under {}: expected {}, observed {}, {} checker violation(s)",
+            row.shape,
+            mode_label(row.mode),
+            row.expect.verdict.label(),
+            row.observed_label(),
+            row.report.violations()
+        );
+    }
+}
+
+/// Forbidden outcomes are *never* observed under either BBB organization,
+/// across every crash point of every shape — the paper's guarantee at
+/// litmus granularity.
+#[test]
+fn bbb_modes_forbid_every_lost_causality_outcome() {
+    for shape in &shapes() {
+        for mode in [
+            PersistencyMode::BbbMemorySide,
+            PersistencyMode::BbbProcessorSide,
+        ] {
+            let row = run_shape(shape, mode);
+            assert_eq!(
+                row.expect.verdict,
+                Verdict::Forbidden,
+                "{}: BBB should forbid the outcome",
+                shape.name
+            );
+            assert_eq!(row.observed, 0, "{} under {}", shape.name, mode_label(mode));
+            assert!(row.report.ok(), "{} under {}", shape.name, mode_label(mode));
+        }
+    }
+}
+
+/// The engine distinguishes the disciplines: stripping the flush from the
+/// older store (PMEM) or the barrier from the producer (BEP) surfaces a
+/// minimal ordering witness with a happens-before path.
+#[test]
+fn stripped_disciplines_produce_minimal_witnesses() {
+    let all = shapes();
+    let flushless = all.iter().find(|s| s.name == "ss+clwb_y").unwrap();
+    let row = run_shape(flushless, PersistencyMode::Pmem);
+    assert!(row.report.violations() >= 1, "flush-stripped PMEM witness");
+    assert_eq!(row.report.witnesses[0].rule, "strict-order");
+
+    let barrierless = all.iter().find(|s| s.name == "mp").unwrap();
+    let row = run_shape(barrierless, PersistencyMode::Bep);
+    assert!(row.report.violations() >= 1, "barrier-stripped BEP witness");
+    assert_eq!(row.report.witnesses[0].rule, "cross-core-hb");
+    assert!(
+        row.report.witnesses[0].path.len() >= 3,
+        "witness path spans write, observation, and overtaking write: {:?}",
+        row.report.witnesses[0].path
+    );
 }
