@@ -113,7 +113,15 @@ impl L2Line {
 
     /// Iterates the sharer core indices.
     pub fn sharer_cores(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..64).filter(move |&c| self.has_sharer(c))
+        cores_in(self.sharers)
+    }
+
+    /// The raw sharer bitmask. Copy this out before mutating the cache
+    /// (drive [`cores_in`] with it) — it decouples sharer iteration from
+    /// the line borrow without collecting into a `Vec`.
+    #[must_use]
+    pub fn sharer_mask(&self) -> u64 {
+        self.sharers
     }
 
     /// Number of L1 sharers.
@@ -127,6 +135,16 @@ impl L2Line {
     pub fn unowned(&self) -> bool {
         self.owner.is_none() && self.sharers == 0
     }
+}
+
+/// Iterates the set core indices of a sharer bitmask, lowest first.
+/// Allocation-free (one `u64` of state), for coherence hot paths.
+pub fn cores_in(mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::successors(if mask == 0 { None } else { Some(mask) }, |&m| {
+        let rest = m & (m - 1); // clear lowest set bit
+        (rest != 0).then_some(rest)
+    })
+    .map(|m| m.trailing_zeros() as usize)
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 
 use bbb_sim::{AddressMap, BlockAddr, Counter, Cycle, SimConfig, Stats, BLOCK_BYTES};
 
-use crate::block::{L2Line, Mesi};
+use crate::block::{cores_in, L2Line, Mesi};
 use crate::hooks::{CoherenceHooks, MemoryPort, WritebackDecision};
 use crate::l1::L1Cache;
 use crate::l2::L2Cache;
@@ -247,11 +247,14 @@ impl CacheHierarchy {
                 self.counters.l1_misses.inc();
                 self.counters.upgrades.inc();
                 let t = now + self.l1_lat + self.noc + self.l2_lat;
-                let sharers: Vec<usize> = {
-                    let line = self.l2.touch(block).expect("inclusion: S implies L2 line");
-                    line.sharer_cores().filter(|&c| c != core).collect()
-                };
-                for o in sharers {
+                // Copy the directory bitmask out so sharer iteration does
+                // not hold the line borrow (and allocates nothing).
+                let mask = self
+                    .l2
+                    .touch(block)
+                    .expect("inclusion: S implies L2 line")
+                    .sharer_mask();
+                for o in cores_in(mask).filter(|&c| c != core) {
                     self.counters.invalidations.inc();
                     self.l1s[o].invalidate(block);
                     hooks.on_remote_invalidate(now, block, o, core, mem);
@@ -285,14 +288,11 @@ impl CacheHierarchy {
                     l2line.data
                 } else if self.l2.contains_block(block) {
                     self.counters.l2_hits.inc();
-                    let sharers: Vec<usize> = {
-                        let line = self.l2.touch(block).expect("present");
-                        line.sharer_cores().filter(|&c| c != core).collect()
-                    };
-                    if !sharers.is_empty() {
+                    let mask = self.l2.touch(block).expect("present").sharer_mask();
+                    if cores_in(mask).any(|c| c != core) {
                         t += 2 * self.noc;
                     }
-                    for o in sharers {
+                    for o in cores_in(mask).filter(|&c| c != core) {
                         self.counters.invalidations.inc();
                         self.l1s[o].invalidate(block);
                         hooks.on_remote_invalidate(now, block, o, core, mem);
@@ -570,7 +570,7 @@ impl CacheHierarchy {
                 }
             }
         }
-        for c in victim.sharer_cores().collect::<Vec<_>>() {
+        for c in cores_in(victim.sharer_mask()) {
             self.counters.back_invalidations.inc();
             self.l1s[c].invalidate(victim.block);
         }

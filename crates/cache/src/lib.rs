@@ -34,6 +34,6 @@ pub mod l1;
 pub mod l2;
 
 pub use array::SetAssocArray;
-pub use block::{L1Line, L2Line, Mesi};
+pub use block::{cores_in, L1Line, L2Line, Mesi};
 pub use hierarchy::{AccessResult, CacheHierarchy, FlushResult};
 pub use hooks::{CoherenceHooks, MemoryPort, NullHooks, WritebackDecision};

@@ -48,6 +48,7 @@ pub mod procside;
 pub mod system;
 pub mod workload;
 
+pub use bbb_mem::PAGE_BYTES;
 pub use bbpb::{AllocOutcome, Bbpb};
 pub use crash::CrashCost;
 pub use memories::Memories;

@@ -627,6 +627,83 @@ impl System {
         self.memories.crash_image()
     }
 
+    /// The post-crash image if power failed *now*, without crashing: the
+    /// persist-domain contents that would drain (per mode, same order as
+    /// [`System::crash_now`]) are overlaid onto a copy-on-write snapshot
+    /// of NVMM media, so the live system is untouched and unshared pages
+    /// are never copied. With `battery_ok == false` every battery-backed
+    /// structure is lost and the image is the media snapshot alone —
+    /// byte-identical to [`System::crash_now_battery_dropped`].
+    ///
+    /// Crash-point sweeps call this instead of cloning the whole system
+    /// and crashing the clone; the two paths produce byte-identical
+    /// images (see the differential tests).
+    #[must_use]
+    pub fn crash_image(&self, battery_ok: bool) -> NvmImage {
+        let mut media = self.memories.nvmm().media_snapshot();
+        if battery_ok {
+            match self.persist.mode() {
+                PersistencyMode::Pmem => {
+                    // ADR: only the WPQ survives (already merged into media).
+                }
+                PersistencyMode::Eadr => {
+                    for (block, data, _) in self.hierarchy.dirty_blocks() {
+                        if self.memories.map().is_nvmm(block.base()) {
+                            media.write_block(block, &data);
+                        }
+                    }
+                    self.overlay_store_buffers(&mut media);
+                }
+                PersistencyMode::BbbMemorySide => {
+                    for c in 0..self.cores.len() {
+                        for (block, data) in self.persist.bbpb(c).drain_set() {
+                            media.write_block(block, &data);
+                        }
+                    }
+                    self.overlay_store_buffers(&mut media);
+                }
+                PersistencyMode::BbbProcessorSide => {
+                    for c in 0..self.cores.len() {
+                        for e in self.persist.procpb(c).iter() {
+                            media.write(e.block.base() + e.offset as u64, &e.bytes[..e.len]);
+                        }
+                    }
+                    self.overlay_store_buffers(&mut media);
+                }
+                PersistencyMode::Bep => {
+                    // Volatile persist buffers: contents lost even with the
+                    // battery; only the WPQ (in media) survives.
+                }
+            }
+        }
+        NvmImage::from_store(media)
+    }
+
+    /// Overlays persistent store-buffer entries (oldest first, per core)
+    /// onto a media snapshot — the non-destructive mirror of
+    /// [`System::crash_drain_store_buffers`].
+    fn overlay_store_buffers(&self, media: &mut ByteStore) {
+        if !self.cfg.battery_backed_sb {
+            return;
+        }
+        for core in &self.cores {
+            for e in core.sb.iter().filter(|e| e.persistent) {
+                media.write(e.block.base() + e.offset as u64, &e.bytes[..e.len]);
+            }
+        }
+    }
+
+    /// Snapshot-cost accounting for [`System::crash_image`]: the number of
+    /// materialized NVMM media pages (all shared, not copied, when a COW
+    /// snapshot forks) and the media store's lifetime copy-on-write page
+    /// copies. Crash-point sweeps difference the copy counter across an
+    /// image's lifetime to report pages shared vs. copied.
+    #[must_use]
+    pub fn media_cow_stats(&self) -> (usize, u64) {
+        let nvmm = self.memories.nvmm();
+        (nvmm.media_resident_pages(), nvmm.media_cow_page_copies())
+    }
+
     /// Samples the monotone event counters a crash-point planner wants to
     /// straddle (see [`EventProbe`]). Cheap enough to call between ops.
     #[must_use]
@@ -1262,12 +1339,79 @@ mod tests {
         let mut fork = s.clone();
         let img = fork.crash_now();
         assert_eq!(img.read_u64(a), 0x111);
-        // The original keeps running as if the fork never existed.
+        // The original keeps running as if the fork never existed —
+        // including writes that land on pages the fork's COW snapshot
+        // still shares.
         s.run_single_core(0, vec![Op::store_u64(a + 8, 0x222)])
             .unwrap();
         let img2 = s.crash_now();
         assert_eq!(img2.read_u64(a), 0x111);
         assert_eq!(img2.read_u64(a + 8), 0x222);
+        // And the fork's image is frozen: the original's later store must
+        // not bleed through the shared pages.
+        assert_eq!(img.read_u64(a + 8), 0);
+    }
+
+    /// The non-destructive `crash_image` must be byte-identical to forking
+    /// the system and crashing the fork — for every mode, in both battery
+    /// states, both mid-flight (store buffers and persist buffers
+    /// occupied) and after the buffers drain (dirty caches under eADR,
+    /// resident bbPB entries under BBB).
+    #[test]
+    fn crash_image_matches_destructive_crash_across_modes() {
+        for mode in PersistencyMode::ALL {
+            let mut s = sys(mode);
+            let a = pbase(&s);
+            let mut ops = Vec::new();
+            for i in 0..24u64 {
+                ops.push(Op::store_u64(a + i * 40, 0x1000 + i));
+                if mode.requires_flushes() && i % 3 == 0 {
+                    ops.push(Op::Clwb { addr: a + i * 40 });
+                    ops.push(Op::Fence);
+                }
+                if mode.requires_epoch_barriers() && i % 5 == 0 {
+                    ops.push(Op::Fence);
+                }
+            }
+            s.run_single_core(0, ops).unwrap();
+
+            // Mid-flight: store buffers may still hold entries.
+            for battery_ok in [true, false] {
+                let image = s.crash_image(battery_ok);
+                let mut fork = s.clone();
+                let destructive = if battery_ok {
+                    fork.crash_now()
+                } else {
+                    fork.crash_now_battery_dropped()
+                };
+                assert_eq!(
+                    image, destructive,
+                    "{mode}: mid-flight, battery_ok={battery_ok}"
+                );
+            }
+
+            // Post-drain: persist domain holds the interesting state.
+            s.drain_all_store_buffers();
+            for battery_ok in [true, false] {
+                let image = s.crash_image(battery_ok);
+                let mut fork = s.clone();
+                let destructive = if battery_ok {
+                    fork.crash_now()
+                } else {
+                    fork.crash_now_battery_dropped()
+                };
+                assert_eq!(
+                    image, destructive,
+                    "{mode}: post-drain, battery_ok={battery_ok}"
+                );
+            }
+
+            // crash_image is genuinely non-destructive: the live system
+            // still produces the same destructive image afterwards.
+            let again = s.crash_image(true);
+            let destructive = s.crash_now();
+            assert_eq!(again, destructive, "{mode}: live system undisturbed");
+        }
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //! 2. [`grid::plan_points`] turns that into a crash plan: a dense stride,
 //!    SplitMix64-seeded random points, and boundary points straddling
 //!    every event (`e-1`, `e`, `e+1`).
-//! 3. [`sweep::sweep`] replays the run once more, pausing at each planned
-//!    cycle to fork the machine (`System` is `Clone`), power-fail the
-//!    fork, and verify the recovered image with the workload's structure
-//!    checker.
+//! 3. [`sweep::plan_shards`] splits the plan into contiguous chunks;
+//!    [`sweep::sweep_shard`] replays the run once per shard, pausing at
+//!    each planned cycle to take a non-destructive, copy-on-write
+//!    [`bbb_core::System::crash_image`] (zero machine clones) and verify
+//!    the recovered image with the workload's structure checker;
+//!    [`sweep::merge_shards`] folds shard outcomes back in plan order.
+//!    [`sweep::sweep`] is the serial single-shard composition.
 //! 4. Differential negative oracles keep the checkers honest: a
 //!    battery-dropped crash of a battery-backed mode, PMEM without
 //!    flushes, and BEP without barriers must each exhibit lost-update
@@ -41,6 +44,7 @@ pub mod sweep;
 pub use grid::{plan_points, GridSpec, CRASHFUZZ_SEED};
 pub use shrink::{shrink, test_source, Reproducer};
 pub use sweep::{
-    first_failure_at, lost_updates_observable, reference_run, sweep, CrashFailure, Reference,
-    SweepConfig, SweepOutcome,
+    first_failure_at, lost_updates_observable, merge_shards, plan_shards, reference_run, sweep,
+    sweep_shard, CrashFailure, Reference, ShardOutcome, SweepConfig, SweepOutcome, SweepPerf,
+    SweepShard,
 };

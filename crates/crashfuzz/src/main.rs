@@ -15,9 +15,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::Instant;
+
 use bbb_core::PersistencyMode;
 use bbb_crashfuzz::{
-    lost_updates_observable, shrink, sweep, GridSpec, SweepConfig, SweepOutcome, CRASHFUZZ_SEED,
+    lost_updates_observable, merge_shards, plan_shards, shrink, sweep_shard, GridSpec, SweepConfig,
+    SweepOutcome, SweepPerf, SweepShard, CRASHFUZZ_SEED,
 };
 use bbb_runner::{json_requested, Report, Runner};
 use bbb_sim::{SimConfig, Table};
@@ -93,7 +96,35 @@ fn main() {
         }
     }
 
-    let outcomes = Runner::from_env().map(&configs, sweep);
+    // Two-phase parallel sweep. Phase 1 plans each pair's crash grid
+    // (one reference run per pair) and shards the points so every worker
+    // thread gets a contiguous chunk; phase 2 flattens the shards of all
+    // pairs into one work list for the pool. Shard outcomes merge back
+    // in plan order, so the table below is bit-identical to a serial
+    // sweep at any `BBB_THREADS`.
+    let runner = Runner::from_env();
+    let wall = Instant::now();
+    let shards_per_pair = runner.threads();
+    let shard_sets: Vec<Vec<SweepShard>> =
+        runner.map(&configs, |c| plan_shards(c, shards_per_pair));
+    let flat: Vec<SweepShard> = shard_sets.iter().flatten().cloned().collect();
+    let mut partials = runner.map(&flat, sweep_shard).into_iter();
+    let outcomes: Vec<SweepOutcome> = configs
+        .iter()
+        .zip(&shard_sets)
+        .map(|(cfg, set)| {
+            let parts: Vec<_> = (0..set.len())
+                .map(|_| partials.next().expect("shard"))
+                .collect();
+            merge_shards(cfg, &parts)
+        })
+        .collect();
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    let mut perf = SweepPerf::default();
+    for out in &outcomes {
+        perf.absorb(&out.perf);
+    }
 
     let mut report = Report::with_json("crashfuzz", json_requested());
     report.meta("seed", seed);
@@ -133,7 +164,16 @@ fn main() {
     ));
     report.meta("total_points", total_points);
     report.meta("total_failures", total_failures);
+    report.meta("threads", runner.threads());
+    report.meta("wall_seconds", wall_secs);
+    report.meta("points_per_sec", total_points as f64 / wall_secs.max(1e-9));
+    report.meta(
+        "sim_cycles_per_sec",
+        perf.sim_cycles as f64 / wall_secs.max(1e-9),
+    );
     report.emit().expect("report written");
+
+    emit_perf_report(&runner, &flat, total_points, wall_secs, &perf);
 
     let mut failed = false;
     for (cfg, out) in configs.iter().zip(&outcomes) {
@@ -162,6 +202,61 @@ fn main() {
         }
     }
     std::process::exit(i32::from(failed));
+}
+
+/// Writes the `perf` wall-time report (and `BENCH_perf.json` when JSON
+/// output is requested): sweep throughput plus the copy-on-write
+/// snapshot economics the clone-free crash imaging path delivers. CI's
+/// perf-smoke job archives this file and alarms on gross (>3×)
+/// wall-time regression against the recorded budget. The ASCII form
+/// goes to stderr: it carries wall-clock numbers, and stdout must stay
+/// byte-identical across `BBB_THREADS` settings.
+fn emit_perf_report(
+    runner: &Runner,
+    shards: &[SweepShard],
+    total_points: usize,
+    wall_secs: f64,
+    perf: &SweepPerf,
+) {
+    let mut report = Report::with_json("perf", json_requested());
+    report.meta("threads", runner.threads());
+    report.meta("shards", shards.len());
+    report.meta("wall_seconds", wall_secs);
+    report.meta("points", total_points);
+    report.meta("points_per_sec", total_points as f64 / wall_secs.max(1e-9));
+    report.meta(
+        "sim_cycles_per_sec",
+        perf.sim_cycles as f64 / wall_secs.max(1e-9),
+    );
+    let mut table = Table::new("Crash-sweep wall time", &["metric", "value"]);
+    table.row_owned(vec!["wall_seconds".into(), format!("{wall_secs:.3}")]);
+    table.row_owned(vec![
+        "points_per_sec".into(),
+        format!("{:.1}", total_points as f64 / wall_secs.max(1e-9)),
+    ]);
+    table.row_owned(vec![
+        "sim_cycles_per_sec".into(),
+        format!("{:.0}", perf.sim_cycles as f64 / wall_secs.max(1e-9)),
+    ]);
+    table.row_owned(vec!["snapshots".into(), perf.snapshots.to_string()]);
+    table.row_owned(vec![
+        "snapshot_pages_shared".into(),
+        perf.pages_shared.to_string(),
+    ]);
+    table.row_owned(vec![
+        "snapshot_pages_copied".into(),
+        perf.pages_copied.to_string(),
+    ]);
+    table.row_owned(vec![
+        "clone_bytes_avoided".into(),
+        perf.clone_bytes_avoided.to_string(),
+    ]);
+    report.table(table);
+    report.note(format!(
+        "{} snapshots: {} pages shared, {} copied ({} clone bytes avoided)",
+        perf.snapshots, perf.pages_shared, perf.pages_copied, perf.clone_bytes_avoided
+    ));
+    report.emit_to_stderr().expect("perf report written");
 }
 
 fn status(out: &SweepOutcome) -> &'static str {

@@ -9,9 +9,18 @@
 //!    forced bbPB drains, WPQ backpressure stalls).
 //! 2. **Forward crash pass** — replay the identical execution, pausing at
 //!    each planned crash cycle (ascending, so the whole pass costs one
-//!    run); at each point fork the machine with `Clone`, power-fail the
-//!    fork with [`System::crash_now`], and check the recovered image with
-//!    the workload's structure checker.
+//!    run); at each point take a non-destructive [`System::crash_image`]
+//!    — persist-domain contents overlaid on a copy-on-write snapshot of
+//!    NVMM media, zero clones of the machine — and check the recovered
+//!    image with the workload's structure checker.
+//!
+//! The forward pass shards: [`plan_shards`] splits the planned points
+//! into contiguous chunks, and each [`sweep_shard`] forward-runs its own
+//! fresh cursor from cycle zero to its chunk (the simulation is
+//! deterministic, so every shard replays the identical execution).
+//! Shards of many configurations can then fill a worker pool; merging
+//! the per-shard outcomes in plan order ([`merge_shards`]) reproduces
+//! the serial sweep's output bit for bit at any thread count.
 //!
 //! For configurations whose mode *guarantees* consistency (BBB, eADR,
 //! instrumented PMEM, BEP with epoch barriers) any checker failure is a
@@ -21,7 +30,7 @@
 //! sweep instead *requires* lost-update signatures: a checker that never
 //! flags a machine designed to lose data has no teeth.
 
-use bbb_core::{PersistencyMode, RunCursor, StopAt, System, Workload};
+use bbb_core::{PersistencyMode, RunCursor, StopAt, System, Workload, PAGE_BYTES};
 use bbb_sim::{Cycle, SimConfig};
 use bbb_workloads::suite::with_epoch_barriers;
 use bbb_workloads::{
@@ -225,6 +234,52 @@ pub struct CrashFailure {
     pub report: RecoveryReport,
 }
 
+/// Snapshot-cost and throughput accounting for one sweep (or shard).
+///
+/// The pre-COW sweep deep-cloned the whole `System` once or twice per
+/// crash point; these counters quantify what the copy-on-write
+/// [`System::crash_image`] path avoids. All counters are exact and
+/// deterministic, so they merge additively across shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepPerf {
+    /// Crash images taken (healthy + battery-dropped + lossy finals).
+    pub snapshots: u64,
+    /// Media pages shared between a crash image and the live run —
+    /// pages a deep clone would have copied and COW did not.
+    pub pages_shared: u64,
+    /// Media pages the overlay actually deep-copied (persist-domain
+    /// contents landing on pages still shared with the live run).
+    pub pages_copied: u64,
+    /// Bytes of media never copied thanks to COW snapshots
+    /// (`pages_shared * PAGE_BYTES`).
+    pub clone_bytes_avoided: u64,
+    /// Simulated cycles executed by the forward crash pass(es).
+    pub sim_cycles: u64,
+}
+
+impl SweepPerf {
+    /// Adds another shard's counters into this one.
+    pub fn absorb(&mut self, other: &SweepPerf) {
+        self.snapshots += other.snapshots;
+        self.pages_shared += other.pages_shared;
+        self.pages_copied += other.pages_copied;
+        self.clone_bytes_avoided += other.clone_bytes_avoided;
+        self.sim_cycles += other.sim_cycles;
+    }
+
+    /// Records one crash image against the live system's media stats
+    /// (taken just before the image): every resident page starts shared;
+    /// the image's COW counter delta says how many the overlay copied.
+    fn record_snapshot(&mut self, resident_before: usize, copies_before: u64, copies_after: u64) {
+        let copied = copies_after - copies_before;
+        let shared = (resident_before as u64).saturating_sub(copied);
+        self.snapshots += 1;
+        self.pages_shared += shared;
+        self.pages_copied += copied;
+        self.clone_bytes_avoided += shared * PAGE_BYTES as u64;
+    }
+}
+
 /// The result of sweeping one configuration.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
@@ -249,6 +304,8 @@ pub struct SweepOutcome {
     pub negative_points: usize,
     /// Lost-update signatures the negative oracles observed.
     pub negative_signatures: usize,
+    /// Snapshot-cost and throughput counters.
+    pub perf: SweepPerf,
 }
 
 impl SweepOutcome {
@@ -268,23 +325,89 @@ impl SweepOutcome {
     }
 }
 
-/// Runs the full two-pass sweep for one configuration.
+/// One worker's slice of a configuration's sweep: a contiguous chunk of
+/// the planned crash points, replayed on the worker's own forward cursor.
+#[derive(Debug, Clone)]
+pub struct SweepShard {
+    /// Configuration being swept.
+    pub cfg: SweepConfig,
+    /// Contiguous ascending slice of the planned crash cycles.
+    pub points: Vec<Cycle>,
+    /// True on the last shard of a lossy configuration: after its final
+    /// point it runs the machine to completion and performs the
+    /// final-recovery differential against the consistent twin.
+    pub lossy_final: bool,
+}
+
+/// The partial outcome one shard contributes (merge with
+/// [`merge_shards`] in plan order to recover the serial sweep's output).
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Points this shard swept.
+    pub points: usize,
+    /// Consistency violations, in ascending crash-cycle order.
+    pub failures: Vec<CrashFailure>,
+    /// Negative-oracle probes this shard ran.
+    pub negative_points: usize,
+    /// Lost-update signatures this shard observed.
+    pub negative_signatures: usize,
+    /// Snapshot-cost and throughput counters.
+    pub perf: SweepPerf,
+}
+
+/// Pass 1 plus planning: learns the run, plans the crash grid, and splits
+/// it into at most `shards` contiguous chunks (fewer when there are fewer
+/// points). With `shards == 1` the single shard is the serial sweep.
+///
+/// The simulation is deterministic, so the concatenated per-shard
+/// verdicts are identical for every shard count — only wall-clock
+/// parallelism changes.
 #[must_use]
-pub fn sweep(cfg: &SweepConfig) -> SweepOutcome {
+pub fn plan_shards(cfg: &SweepConfig, shards: usize) -> Vec<SweepShard> {
     let reference = reference_run(cfg);
     let points = plan_points(reference.total_cycles, &reference.event_cycles, &cfg.grid);
-    let expects_consistent = cfg.expects_consistent();
+    let shards = shards.clamp(1, points.len().max(1));
+    let chunk = points.len().div_ceil(shards).max(1);
+    let mut out: Vec<SweepShard> = points
+        .chunks(chunk)
+        .map(|c| SweepShard {
+            cfg: cfg.clone(),
+            points: c.to_vec(),
+            lossy_final: false,
+        })
+        .collect();
+    if out.is_empty() {
+        out.push(SweepShard {
+            cfg: cfg.clone(),
+            points: Vec::new(),
+            lossy_final: false,
+        });
+    }
+    if !cfg.expects_consistent() {
+        out.last_mut().expect("at least one shard").lossy_final = true;
+    }
+    out
+}
 
+/// Runs one shard: forward-runs a fresh machine to each of its points
+/// (ascending), taking a non-destructive [`System::crash_image`] at each
+/// — no system clones anywhere on this path.
+#[must_use]
+pub fn sweep_shard(shard: &SweepShard) -> ShardOutcome {
+    let cfg = &shard.cfg;
+    let expects_consistent = cfg.expects_consistent();
     let (mut w, mut sys) = build(cfg);
     let mut cursor = RunCursor::new(cfg.cfg.cores);
     let mut failures = Vec::new();
     let mut negative_points = 0;
     let mut negative_signatures = 0;
-    for &p in &points {
+    let mut perf = SweepPerf::default();
+    for &p in &shard.points {
         sys.run_until(w.as_mut(), &mut cursor, StopAt::Cycle(p));
+        let (resident, copies_before) = sys.media_cow_stats();
         let report = {
-            let mut crashed = sys.clone();
-            let image = crashed.crash_now();
+            let image = sys.crash_image(true);
+            perf.record_snapshot(resident, copies_before, image.as_store().cow_page_copies());
             verify_recovery_report(cfg.workload, &image, &cfg.cfg, cfg.params)
         };
         if expects_consistent {
@@ -304,8 +427,8 @@ pub fn sweep(cfg: &SweepConfig) -> SweepOutcome {
         if cfg.battery_oracle() {
             negative_points += 1;
             let dropped = {
-                let mut crashed = sys.clone();
-                let image = crashed.crash_now_battery_dropped();
+                let image = sys.crash_image(false);
+                perf.record_snapshot(resident, copies_before, image.as_store().cow_page_copies());
                 verify_recovery_report(cfg.workload, &image, &cfg.cfg, cfg.params)
             };
             // A dead battery must lose updates relative to the healthy
@@ -317,7 +440,7 @@ pub fn sweep(cfg: &SweepConfig) -> SweepOutcome {
         }
     }
 
-    if !expects_consistent {
+    if shard.lossy_final {
         // Final differential: run the lossy machine to completion and
         // compare its recovered count against the same pair under the
         // mode's correct discipline. A machine that skips the required
@@ -325,7 +448,9 @@ pub fn sweep(cfg: &SweepConfig) -> SweepOutcome {
         negative_points += 1;
         sys.run_until(w.as_mut(), &mut cursor, StopAt::End);
         let lossy_final = {
-            let image = sys.crash_now();
+            let (resident, copies_before) = sys.media_cow_stats();
+            let image = sys.crash_image(true);
+            perf.record_snapshot(resident, copies_before, image.as_store().cow_page_copies());
             verify_recovery_report(cfg.workload, &image, &cfg.cfg, cfg.params)
         };
         let twin_final = {
@@ -333,7 +458,7 @@ pub fn sweep(cfg: &SweepConfig) -> SweepOutcome {
             let (mut tw, mut tsys) = build(&twin);
             let mut tcursor = RunCursor::new(twin.cfg.cores);
             tsys.run_until(tw.as_mut(), &mut tcursor, StopAt::End);
-            let image = tsys.crash_now();
+            let image = tsys.crash_image(true);
             verify_recovery_report(twin.workload, &image, &twin.cfg, twin.params)
         };
         if !lossy_final.ok() || lossy_final.recovered < twin_final.recovered {
@@ -341,22 +466,59 @@ pub fn sweep(cfg: &SweepConfig) -> SweepOutcome {
         }
     }
 
+    perf.sim_cycles += sys.cycle();
+    ShardOutcome {
+        points: shard.points.len(),
+        failures,
+        negative_points,
+        negative_signatures,
+        perf,
+    }
+}
+
+/// Folds per-shard outcomes (in plan order) into the configuration's
+/// [`SweepOutcome`] — identical to what a 1-shard serial sweep produces.
+#[must_use]
+pub fn merge_shards(cfg: &SweepConfig, shards: &[ShardOutcome]) -> SweepOutcome {
+    let mut points = 0;
+    let mut failures = Vec::new();
+    let mut negative_points = 0;
+    let mut negative_signatures = 0;
+    let mut perf = SweepPerf::default();
+    for s in shards {
+        points += s.points;
+        failures.extend(s.failures.iter().cloned());
+        negative_points += s.negative_points;
+        negative_signatures += s.negative_signatures;
+        perf.absorb(&s.perf);
+    }
     SweepOutcome {
         label: cfg.label(),
         workload: cfg.workload,
         mode: cfg.mode,
-        expects_consistent,
+        expects_consistent: cfg.expects_consistent(),
         oracle_required: lost_updates_observable(cfg.workload),
-        points: points.len(),
+        points,
         failures,
         negative_points,
         negative_signatures,
+        perf,
     }
 }
 
-/// Crashes forks of one deterministic execution at each of `points`
-/// (ascending), returning the first failing point. `battery_dropped`
-/// selects the crash variant. The shrinker's workhorse.
+/// Runs the full two-pass sweep for one configuration, serially (the
+/// single-shard case of [`plan_shards`] + [`sweep_shard`]).
+#[must_use]
+pub fn sweep(cfg: &SweepConfig) -> SweepOutcome {
+    let shards = plan_shards(cfg, 1);
+    let partials: Vec<ShardOutcome> = shards.iter().map(sweep_shard).collect();
+    merge_shards(cfg, &partials)
+}
+
+/// Crashes one deterministic execution at each of `points` (ascending)
+/// via non-destructive [`System::crash_image`], returning the first
+/// failing point. `battery_dropped` selects the crash variant. The
+/// shrinker's workhorse.
 #[must_use]
 pub fn first_failure_at(
     cfg: &SweepConfig,
@@ -367,12 +529,7 @@ pub fn first_failure_at(
     let mut cursor = RunCursor::new(cfg.cfg.cores);
     for &p in points {
         sys.run_until(w.as_mut(), &mut cursor, StopAt::Cycle(p));
-        let mut crashed = sys.clone();
-        let image = if battery_dropped {
-            crashed.crash_now_battery_dropped()
-        } else {
-            crashed.crash_now()
-        };
+        let image = sys.crash_image(!battery_dropped);
         let report = verify_recovery_report(cfg.workload, &image, &cfg.cfg, cfg.params);
         if !report.ok() {
             return Some(CrashFailure {

@@ -1,19 +1,33 @@
-//! Sparse functional byte storage.
+//! Sparse functional byte storage with copy-on-write snapshots.
 //!
 //! [`ByteStore`] backs both the memory devices (media contents) and the
 //! architectural memory workloads execute against. It is a sparse map of
 //! 4 KiB pages, so an 8 GB address space costs memory only for pages
-//! actually touched.
+//! actually touched. Pages are reference-counted ([`Arc`]): cloning a
+//! store is O(resident pages) pointer bumps, and a clone shares every
+//! page with its parent until one of them writes — the property the
+//! crash-point sweep's snapshot path is built on.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bbb_sim::{Addr, BlockAddr, BLOCK_BYTES};
 
 const PAGE_SHIFT: u32 = 12;
-const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+/// Bytes per copy-on-write page (4 KiB).
+pub const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+type Page = [u8; PAGE_BYTES];
 
 /// A sparse, byte-addressable memory with zero-fill semantics: reading an
 /// address that was never written returns zero.
+///
+/// Cloning is cheap (copy-on-write): the clone shares every materialized
+/// page with the original, and a page is deep-copied only when either
+/// side writes it while it is still shared. [`ByteStore::cow_page_copies`]
+/// counts those forced copies; [`ByteStore::shared_pages`] reports how
+/// many resident pages are currently shared with at least one snapshot.
 ///
 /// # Examples
 ///
@@ -23,11 +37,28 @@ const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 /// m.write_u64(0x1000, 0xDEAD_BEEF);
 /// assert_eq!(m.read_u64(0x1000), 0xDEAD_BEEF);
 /// assert_eq!(m.read_u64(0x2000), 0); // untouched => zero
+///
+/// let snap = m.clone();              // O(pages) pointer bumps
+/// m.write_u64(0x1000, 1);            // breaks sharing for that page only
+/// assert_eq!(snap.read_u64(0x1000), 0xDEAD_BEEF);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ByteStore {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: HashMap<u64, Arc<Page>>,
+    /// Pages deep-copied because a write hit a page still shared with a
+    /// snapshot. Clones inherit their ancestor's count at fork time.
+    cow_page_copies: u64,
 }
+
+impl PartialEq for ByteStore {
+    /// Content equality: same materialized pages with the same bytes.
+    /// The COW bookkeeping counter is not observable state.
+    fn eq(&self, other: &Self) -> bool {
+        self.pages == other.pages
+    }
+}
+
+impl Eq for ByteStore {}
 
 impl ByteStore {
     /// Creates an empty (all-zero) store.
@@ -40,6 +71,23 @@ impl ByteStore {
     #[must_use]
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Number of resident pages currently shared with at least one other
+    /// snapshot (clone) of this store.
+    #[must_use]
+    pub fn shared_pages(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count()
+    }
+
+    /// Pages deep-copied by copy-on-write over this store's history
+    /// (a write landing on a page still shared with a snapshot).
+    #[must_use]
+    pub fn cow_page_copies(&self) -> u64 {
+        self.cow_page_copies
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -59,6 +107,10 @@ impl ByteStore {
     }
 
     /// Writes `data` starting at `addr`, materializing pages as needed.
+    /// A write to a page shared with a snapshot copies the page first
+    /// (copy-on-write); a page-aligned full-page write never pays for a
+    /// zero fill or a stale copy — the page is built straight from the
+    /// source bytes.
     pub fn write(&mut self, addr: Addr, data: &[u8]) {
         let mut pos = 0;
         while pos < data.len() {
@@ -66,11 +118,36 @@ impl ByteStore {
             let page = a >> PAGE_SHIFT;
             let off = (a as usize) & (PAGE_BYTES - 1);
             let n = (PAGE_BYTES - off).min(data.len() - pos);
-            let p = self
-                .pages
-                .entry(page)
-                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
-            p[off..off + n].copy_from_slice(&data[pos..pos + n]);
+            let src = &data[pos..pos + n];
+            match self.pages.entry(page) {
+                Entry::Occupied(mut e) => {
+                    let slot = e.get_mut();
+                    if n == PAGE_BYTES {
+                        // Full overwrite: nothing of the old page survives,
+                        // so never copy it — write in place when unshared,
+                        // otherwise swap in a fresh page built from `src`.
+                        match Arc::get_mut(slot) {
+                            Some(p) => p.copy_from_slice(src),
+                            None => *slot = Arc::new(page_from(src)),
+                        }
+                    } else {
+                        if Arc::get_mut(slot).is_none() {
+                            self.cow_page_copies += 1;
+                        }
+                        Arc::make_mut(slot)[off..off + n].copy_from_slice(src);
+                    }
+                }
+                Entry::Vacant(v) => {
+                    if n == PAGE_BYTES {
+                        v.insert(Arc::new(page_from(src)));
+                    } else {
+                        let mut p = Arc::new([0u8; PAGE_BYTES]);
+                        Arc::get_mut(&mut p).expect("freshly allocated")[off..off + n]
+                            .copy_from_slice(src);
+                        v.insert(p);
+                    }
+                }
+            }
             pos += n;
         }
     }
@@ -111,6 +188,11 @@ impl ByteStore {
             ((k << PAGE_SHIFT), &page[..])
         })
     }
+}
+
+/// Builds a page directly from a page-sized slice (no zero fill).
+fn page_from(src: &[u8]) -> Page {
+    src.try_into().expect("page-sized slice")
 }
 
 #[cfg(test)]
@@ -173,5 +255,93 @@ mod tests {
         m.write_u64(0, 2);
         assert_eq!(snap.read_u64(0), 1);
         assert_eq!(m.read_u64(0), 2);
+        // And the other direction: a write through the snapshot must not
+        // leak back into the parent.
+        let mut snap2 = m.clone();
+        snap2.write_u64(0, 3);
+        assert_eq!(m.read_u64(0), 2);
+        assert_eq!(snap2.read_u64(0), 3);
+    }
+
+    #[test]
+    fn clone_shares_pages_until_written() {
+        let mut m = ByteStore::new();
+        m.write_u64(0x0000, 1);
+        m.write_u64(0x1000, 2);
+        m.write_u64(0x2000, 3);
+        assert_eq!(m.shared_pages(), 0);
+
+        let snap = m.clone();
+        assert_eq!(m.shared_pages(), 3, "all pages shared right after clone");
+        assert_eq!(snap.shared_pages(), 3);
+        assert_eq!(m.cow_page_copies(), 0);
+
+        // A partial write to one shared page copies exactly that page.
+        m.write_u64(0x1000, 99);
+        assert_eq!(m.cow_page_copies(), 1);
+        assert_eq!(m.shared_pages(), 2);
+        assert_eq!(snap.read_u64(0x1000), 2, "snapshot unaffected");
+
+        // Dropping the snapshot un-shares everything without copies.
+        drop(snap);
+        assert_eq!(m.shared_pages(), 0);
+        assert_eq!(m.cow_page_copies(), 1);
+    }
+
+    #[test]
+    fn divergent_clones_are_fully_independent() {
+        let mut a = ByteStore::new();
+        for i in 0..8u64 {
+            a.write_u64(i * 0x1000, i + 1);
+        }
+        let mut b = a.clone();
+        for i in 0..8u64 {
+            b.write_u64(i * 0x1000, 100 + i);
+        }
+        for i in 0..8u64 {
+            assert_eq!(a.read_u64(i * 0x1000), i + 1);
+            assert_eq!(b.read_u64(i * 0x1000), 100 + i);
+        }
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
+    }
+
+    #[test]
+    fn full_page_write_skips_zero_fill_and_cow_copy() {
+        let page = vec![0xABu8; PAGE_BYTES];
+        // Fresh page: built straight from the source.
+        let mut m = ByteStore::new();
+        m.write(0x3000, &page);
+        assert_eq!(m.resident_pages(), 1);
+        assert_eq!(m.read_u64(0x3000), u64::from_le_bytes([0xAB; 8]));
+
+        // Full overwrite of a *shared* page replaces it without counting
+        // (or performing) a copy-on-write of the stale contents.
+        let snap = m.clone();
+        let page2 = vec![0xCDu8; PAGE_BYTES];
+        m.write(0x3000, &page2);
+        assert_eq!(m.cow_page_copies(), 0);
+        assert_eq!(m.read_u64(0x3000), u64::from_le_bytes([0xCD; 8]));
+        assert_eq!(snap.read_u64(0x3000), u64::from_le_bytes([0xAB; 8]));
+
+        // Unaligned page-sized writes still go through the partial path.
+        let mut n = ByteStore::new();
+        n.write(0x3008, &page);
+        assert_eq!(n.resident_pages(), 2);
+        assert_eq!(n.read_u64(0x3008), u64::from_le_bytes([0xAB; 8]));
+        assert_eq!(n.read_u64(0x3000), 0);
+    }
+
+    #[test]
+    fn equality_ignores_cow_bookkeeping() {
+        let mut a = ByteStore::new();
+        a.write_u64(0x10, 7);
+        let mut b = a.clone();
+        let snap = b.clone();
+        b.write_u64(0x10, 8); // forces a COW copy in b
+        b.write_u64(0x10, 7); // restore contents
+        drop(snap);
+        assert!(b.cow_page_copies() > a.cow_page_copies());
+        assert_eq!(a, b, "equal contents, different COW history");
     }
 }

@@ -216,6 +216,28 @@ impl NvmmController {
         NvmImage::from_store(self.media.clone())
     }
 
+    /// A copy-on-write snapshot of raw media contents. O(resident pages)
+    /// pointer bumps; pages are shared with the live controller until
+    /// either side writes them. Crash imaging overlays persist-domain
+    /// contents onto this without disturbing the running system.
+    #[must_use]
+    pub fn media_snapshot(&self) -> ByteStore {
+        self.media.clone()
+    }
+
+    /// Materialized 4 KiB media pages (snapshot-cost accounting).
+    #[must_use]
+    pub fn media_resident_pages(&self) -> usize {
+        self.media.resident_pages()
+    }
+
+    /// Media pages deep-copied by copy-on-write so far (writes that hit a
+    /// page still shared with a snapshot).
+    #[must_use]
+    pub fn media_cow_page_copies(&self) -> u64 {
+        self.media.cow_page_copies()
+    }
+
     /// Reads current media contents of one block without timing or
     /// counters (read-modify-write support for store-granular drains).
     #[must_use]
@@ -255,6 +277,8 @@ impl NvmmController {
         s.merge(&self.wpq.stats());
         s.set("nvmm.reads", self.reads.get());
         s.set("nvmm.wpq_read_hits", self.wpq_read_hits.get());
+        s.set("nvmm.media_pages", self.media.resident_pages() as u64);
+        s.set("nvmm.cow_page_copies", self.media.cow_page_copies());
         s
     }
 }

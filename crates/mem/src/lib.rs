@@ -35,7 +35,7 @@ pub mod image;
 pub mod sched;
 pub mod wpq;
 
-pub use backing::ByteStore;
+pub use backing::{ByteStore, PAGE_BYTES};
 pub use controller::{DramController, NvmmController, WriteOutcome};
 pub use endurance::EnduranceTracker;
 pub use image::NvmImage;

@@ -156,6 +156,25 @@ impl Report {
     /// Returns the I/O error if the JSON file cannot be written.
     pub fn emit(&self) -> std::io::Result<()> {
         print!("{}", self.render_text());
+        self.write_json()
+    }
+
+    /// Like [`emit`](Self::emit), but prints the ASCII report to stderr.
+    /// For reports that carry wall-clock numbers: stdout must stay
+    /// byte-identical across `BBB_THREADS` settings (the same convention
+    /// that keeps `simulate`'s timing line off stdout), so anything
+    /// timing-bearing goes to stderr while the JSON document is written
+    /// as usual.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the JSON file cannot be written.
+    pub fn emit_to_stderr(&self) -> std::io::Result<()> {
+        eprint!("{}", self.render_text());
+        self.write_json()
+    }
+
+    fn write_json(&self) -> std::io::Result<()> {
         if self.json {
             let path = self.json_path();
             if let Some(dir) = path.parent() {

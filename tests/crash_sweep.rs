@@ -11,8 +11,10 @@
 
 use bbb::core::PersistencyMode;
 use bbb::crashfuzz::{
-    lost_updates_observable, shrink, sweep, CrashFailure, GridSpec, SweepConfig, CRASHFUZZ_SEED,
+    lost_updates_observable, merge_shards, plan_shards, shrink, sweep, sweep_shard, CrashFailure,
+    GridSpec, SweepConfig, CRASHFUZZ_SEED,
 };
+use bbb::runner::Runner;
 use bbb::sim::SimConfig;
 use bbb::workloads::{RecoveryReport, WorkloadKind, WorkloadParams};
 
@@ -148,6 +150,105 @@ fn sweeps_are_deterministic() {
     assert_eq!(a.failures.len(), b.failures.len());
     assert_eq!(a.negative_points, b.negative_points);
     assert_eq!(a.negative_signatures, b.negative_signatures);
+}
+
+#[test]
+fn sharded_parallel_sweep_matches_serial_sweep_exactly() {
+    // The fixed-seed contract behind `crashfuzz`'s worker-pool sharding:
+    // splitting a pair's crash points into contiguous shards, sweeping
+    // the shards on a thread pool, and merging in plan order must report
+    // the identical points/failures/signatures as the serial sweep —
+    // for any shard count. (The only legitimate difference is replayed
+    // simulation cycles, since every shard forward-runs from cycle 0.)
+    let (cfg, params) = small();
+    for sc in [
+        SweepConfig::paper_discipline(
+            WorkloadKind::Hashmap,
+            PersistencyMode::BbbMemorySide,
+            &cfg,
+            params,
+            GridSpec::bounded(64, 16, CRASHFUZZ_SEED),
+        ),
+        SweepConfig::lossy(
+            WorkloadKind::Hashmap,
+            PersistencyMode::Pmem,
+            &cfg,
+            params,
+            GridSpec::bounded(48, 8, CRASHFUZZ_SEED),
+        ),
+    ] {
+        let serial = sweep(&sc);
+        for shard_count in [2, 3, 7] {
+            let shards = plan_shards(&sc, shard_count);
+            let partials = Runner::with_threads(shard_count).map(&shards, sweep_shard);
+            let merged = merge_shards(&sc, &partials);
+            assert_eq!(merged.points, serial.points, "{shard_count} shards");
+            assert_eq!(
+                merged.failures.len(),
+                serial.failures.len(),
+                "{shard_count} shards"
+            );
+            for (a, b) in merged.failures.iter().zip(&serial.failures) {
+                assert_eq!(a.cycle, b.cycle);
+                assert_eq!(a.battery_dropped, b.battery_dropped);
+            }
+            assert_eq!(merged.negative_points, serial.negative_points);
+            assert_eq!(merged.negative_signatures, serial.negative_signatures);
+            // Snapshot economics are per-point-deterministic, so they
+            // must also merge back identically.
+            assert_eq!(merged.perf.snapshots, serial.perf.snapshots);
+            assert_eq!(merged.perf.pages_shared, serial.perf.pages_shared);
+            assert_eq!(merged.perf.pages_copied, serial.perf.pages_copied);
+            assert_eq!(
+                merged.perf.clone_bytes_avoided,
+                serial.perf.clone_bytes_avoided
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_image_matches_destructive_fork_throughout_a_real_run() {
+    // The clone-free imaging path the sweep relies on, differentially
+    // validated against fork-and-crash on real multi-core workload
+    // executions: at a spread of pause points, `crash_image` must equal
+    // the image a cloned-and-crashed machine produces, in both battery
+    // states, for every mode.
+    use bbb::core::{RunCursor, StopAt, System};
+    use bbb::workloads::{make_workload, suite::with_epoch_barriers};
+
+    let (cfg, params) = small();
+    for mode in PersistencyMode::ALL {
+        let mut params = params;
+        params.instrument = mode.requires_flushes();
+        let mut w = make_workload(WorkloadKind::Hashmap, &cfg, params);
+        if mode.requires_epoch_barriers() {
+            w = with_epoch_barriers(w);
+        }
+        let mut sys = System::new(cfg.clone(), mode).expect("valid config");
+        sys.prepare(w.as_mut());
+        let mut cursor = RunCursor::new(cfg.cores);
+        let mut at = 400;
+        for _ in 0..12 {
+            let s = sys.run_until(w.as_mut(), &mut cursor, StopAt::Cycle(at));
+            let healthy = sys.crash_image(true);
+            let dropped = sys.crash_image(false);
+            assert_eq!(
+                healthy,
+                sys.clone().crash_now(),
+                "{mode}: healthy image diverged at cycle {at}"
+            );
+            assert_eq!(
+                dropped,
+                sys.clone().crash_now_battery_dropped(),
+                "{mode}: battery-dropped image diverged at cycle {at}"
+            );
+            if s.completed {
+                break;
+            }
+            at += 700;
+        }
+    }
 }
 
 #[test]
