@@ -65,6 +65,7 @@ fn main() {
         ),
     ]);
     let mut report = Report::new("config");
+    report.meta_scale_name("analytic");
     report.table(t);
     report.emit().expect("report output");
 }

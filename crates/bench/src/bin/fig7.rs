@@ -2,7 +2,7 @@
 //! 32-entry bbPBs, BBB with 1024-entry bbPBs, and eADR, normalized to eADR,
 //! for every Table IV workload.
 
-use bbb_bench::{geomean, paper_config, ExperimentSpec, Report, Runner, Scale};
+use bbb_bench::{paper_config, ExperimentSpec, NormSeries, Report, Runner, Scale};
 use bbb_core::PersistencyMode;
 use bbb_sim::Table;
 use bbb_workloads::WorkloadKind;
@@ -44,47 +44,36 @@ fn main() {
         "Fig. 7(b): NVMM writes normalized to eADR (steady-state accounting)",
         &["Workload", "BBB (32)", "BBB (1024)", "eADR"],
     );
-    let (mut times32, mut times1024) = (Vec::new(), Vec::new());
-    let (mut writes32, mut writes1024) = (Vec::new(), Vec::new());
+    let (mut times32, mut times1024) = (NormSeries::new(), NormSeries::new());
+    let (mut writes32, mut writes1024) = (NormSeries::new(), NormSeries::new());
 
     for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
         let [eadr, bbb32, bbb1024] = [&results[3 * i], &results[3 * i + 1], &results[3 * i + 2]];
 
-        let t32 = bbb32.cycles() as f64 / eadr.cycles() as f64;
-        let t1024 = bbb1024.cycles() as f64 / eadr.cycles() as f64;
-        let w_base = eadr.nvmm_writes_steady().max(1) as f64;
-        let w32 = bbb32.nvmm_writes_steady() as f64 / w_base;
-        let w1024 = bbb1024.nvmm_writes_steady() as f64 / w_base;
-
-        times32.push(t32);
-        times1024.push(t1024);
-        writes32.push(w32);
-        writes1024.push(w1024);
-
         time_t.row_owned(vec![
             kind.name().into(),
-            format!("{t32:.3}"),
-            format!("{t1024:.3}"),
+            times32.push(bbb32.cycles(), eadr.cycles()),
+            times1024.push(bbb1024.cycles(), eadr.cycles()),
             "1.000".into(),
         ]);
         writes_t.row_owned(vec![
             kind.name().into(),
-            format!("{w32:.3}"),
-            format!("{w1024:.3}"),
+            writes32.push(bbb32.nvmm_writes_steady(), eadr.nvmm_writes_steady()),
+            writes1024.push(bbb1024.nvmm_writes_steady(), eadr.nvmm_writes_steady()),
             "1.000".into(),
         ]);
     }
 
     time_t.row_owned(vec![
         "geomean".into(),
-        format!("{:.3}", geomean(&times32)),
-        format!("{:.3}", geomean(&times1024)),
+        times32.geomean_cell(),
+        times1024.geomean_cell(),
         "1.000".into(),
     ]);
     writes_t.row_owned(vec![
         "geomean".into(),
-        format!("{:.3}", geomean(&writes32)),
-        format!("{:.3}", geomean(&writes1024)),
+        writes32.geomean_cell(),
+        writes1024.geomean_cell(),
         "1.000".into(),
     ]);
 

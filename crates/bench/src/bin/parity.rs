@@ -1,0 +1,129 @@
+//! The paper-parity regression gate.
+//!
+//! Checks every committed `BENCH_*.json` artifact against the registry
+//! (provenance metadata, recorded scale, paper bands) and against the
+//! previously committed version of the same file, then prints a drift
+//! table and exits nonzero if anything is out of band:
+//!
+//! ```text
+//! usage: parity [--against REV] [--dir DIR] [--require-all] [--json]
+//!
+//!   --against REV   git revision holding the previous artifacts
+//!                   (default: HEAD)
+//!   --dir DIR       where the BENCH_*.json files live
+//!                   (default: $BBB_JSON_DIR or .)
+//!   --require-all   fail when a registered artifact is absent
+//! ```
+
+use bbb_bench::parity::{check_artifact, Finding, Status};
+use bbb_bench::registry::policies;
+use bbb_bench::{Json, Report};
+use bbb_sim::Table;
+use std::path::Path;
+use std::process::Command;
+
+fn usage() -> ! {
+    eprintln!("usage: parity [--against REV] [--dir DIR] [--require-all] [--json]");
+    std::process::exit(2);
+}
+
+/// The artifact as committed at `rev`, if it exists there.
+fn committed_version(dir: &Path, rev: &str, file: &str) -> Option<Json> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(dir)
+        .arg("show")
+        // `./` pins the path relative to `dir` rather than the repo root.
+        .arg(format!("{rev}:./{file}"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Json::parse(std::str::from_utf8(&out.stdout).ok()?).ok()
+}
+
+fn main() {
+    let mut against = "HEAD".to_owned();
+    let mut dir = std::env::var("BBB_JSON_DIR").unwrap_or_else(|_| ".".into());
+    let mut require_all = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--against" => against = args.next().unwrap_or_else(|| usage()),
+            "--dir" => dir = args.next().unwrap_or_else(|| usage()),
+            "--require-all" => require_all = true,
+            "--json" => {} // handled by Report::new
+            _ => usage(),
+        }
+    }
+    let dir = Path::new(&dir);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut checked = 0usize;
+    let mut skipped = Vec::new();
+    for policy in policies() {
+        let file = format!("BENCH_{}.json", policy.name);
+        let path = dir.join(&file);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            if require_all {
+                findings.push(Finding {
+                    artifact: policy.name.to_owned(),
+                    what: "artifact".to_owned(),
+                    status: Status::Fail,
+                    detail: format!("{file} missing (regenerate: {})", policy.regen),
+                });
+            } else {
+                skipped.push(policy.name);
+            }
+            continue;
+        };
+        checked += 1;
+        match Json::parse(&text) {
+            Ok(doc) => {
+                let prev = committed_version(dir, &against, &file);
+                findings.extend(check_artifact(policy, &doc, prev.as_ref()));
+            }
+            Err(e) => findings.push(Finding {
+                artifact: policy.name.to_owned(),
+                what: "artifact".to_owned(),
+                status: Status::Fail,
+                detail: format!("unparseable JSON: {e}"),
+            }),
+        }
+    }
+
+    let failures = findings.iter().filter(|f| f.status == Status::Fail).count();
+    let passes = findings.iter().filter(|f| f.status == Status::Ok).count();
+
+    let mut t = Table::new(
+        "Paper-parity drift table",
+        &["Artifact", "Check", "Status", "Detail"],
+    );
+    for f in &findings {
+        t.row_owned(vec![
+            f.artifact.clone(),
+            f.what.clone(),
+            f.status.to_string(),
+            f.detail.clone(),
+        ]);
+    }
+
+    let mut report = Report::new("parity");
+    report.meta_scale_name("gate");
+    report.meta("artifacts_checked", checked);
+    report.meta("checks_passed", passes);
+    report.meta("checks_failed", failures);
+    report.table(t);
+    if !skipped.is_empty() {
+        report.note(format!("not present (skipped): {}", skipped.join(", ")));
+    }
+    report.note(format!(
+        "{checked} artifact(s) checked against paper bands and '{against}': {passes} ok, {failures} failing"
+    ));
+    report.emit().expect("report output");
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -3,7 +3,7 @@
 //! average because per-store entries barely coalesce, while the
 //! memory-side organization stays within a few percent.
 
-use bbb_bench::{geomean, paper_config, ExperimentSpec, Report, Runner, Scale};
+use bbb_bench::{paper_config, ExperimentSpec, NormSeries, Report, Runner, Scale};
 use bbb_core::PersistencyMode;
 use bbb_sim::Table;
 use bbb_workloads::WorkloadKind;
@@ -29,24 +29,20 @@ fn main() {
         "SecV-C: NVMM writes, processor-side vs memory-side bbPB (normalized to eADR)",
         &["Workload", "Memory-side (32)", "Processor-side (32)"],
     );
-    let (mut mem_ratios, mut proc_ratios) = (Vec::new(), Vec::new());
+    let (mut mem_ratios, mut proc_ratios) = (NormSeries::new(), NormSeries::new());
     for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
         let [eadr, memside, procside] = [&results[3 * i], &results[3 * i + 1], &results[3 * i + 2]];
-        let base = eadr.nvmm_writes_steady().max(1) as f64;
-        let m = memside.nvmm_writes_steady() as f64 / base;
-        let p = procside.nvmm_writes_steady() as f64 / base;
-        mem_ratios.push(m);
-        proc_ratios.push(p);
+        let base = eadr.nvmm_writes_steady();
         t.row_owned(vec![
             kind.name().into(),
-            format!("{m:.3}"),
-            format!("{p:.3}"),
+            mem_ratios.push(memside.nvmm_writes_steady(), base),
+            proc_ratios.push(procside.nvmm_writes_steady(), base),
         ]);
     }
     t.row_owned(vec![
         "geomean".into(),
-        format!("{:.3}", geomean(&mem_ratios)),
-        format!("{:.3}", geomean(&proc_ratios)),
+        mem_ratios.geomean_cell(),
+        proc_ratios.geomean_cell(),
     ]);
 
     let mut report = Report::new("procside");

@@ -98,6 +98,13 @@ fn main() {
     cfg.persistent_heap_bytes = need.next_power_of_two().max(64 * 1024 * 1024);
 
     let mut report = Report::new("simulate");
+    report.meta_scale_name(
+        Scale {
+            initial: params.initial,
+            per_core_ops: params.per_core_ops,
+        }
+        .name(),
+    );
     report.meta("workload", kind.name());
     report.meta("mode", mode.to_string());
     report.meta("entries", cfg.bbpb.entries);

@@ -5,7 +5,7 @@
 //! still needs barriers and still stalls at epoch boundaries; BBB removes
 //! both and matches eADR.
 
-use bbb_bench::{geomean, paper_config, ExperimentSpec, Report, Runner, Scale};
+use bbb_bench::{paper_config, ExperimentSpec, NormSeries, Report, Runner, Scale};
 use bbb_core::PersistencyMode;
 use bbb_sim::Table;
 use bbb_workloads::WorkloadKind;
@@ -40,28 +40,23 @@ fn main() {
             "eADR",
         ],
     );
-    let (mut pmem_r, mut bep_r, mut bbb_r) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut pmem_r, mut bep_r, mut bbb_r) =
+        (NormSeries::new(), NormSeries::new(), NormSeries::new());
     for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
-        let eadr = results[MODES.len() * i].cycles() as f64;
-        let pmem = results[MODES.len() * i + 1].cycles() as f64 / eadr;
-        let bep = results[MODES.len() * i + 2].cycles() as f64 / eadr;
-        let bbb = results[MODES.len() * i + 3].cycles() as f64 / eadr;
-        pmem_r.push(pmem);
-        bep_r.push(bep);
-        bbb_r.push(bbb);
+        let eadr = results[MODES.len() * i].cycles();
         t.row_owned(vec![
             kind.name().into(),
-            format!("{pmem:.3}"),
-            format!("{bep:.3}"),
-            format!("{bbb:.3}"),
+            pmem_r.push(results[MODES.len() * i + 1].cycles(), eadr),
+            bep_r.push(results[MODES.len() * i + 2].cycles(), eadr),
+            bbb_r.push(results[MODES.len() * i + 3].cycles(), eadr),
             "1.000".into(),
         ]);
     }
     t.row_owned(vec![
         "geomean".into(),
-        format!("{:.3}", geomean(&pmem_r)),
-        format!("{:.3}", geomean(&bep_r)),
-        format!("{:.3}", geomean(&bbb_r)),
+        pmem_r.geomean_cell(),
+        bep_r.geomean_cell(),
+        bbb_r.geomean_cell(),
         "1.000".into(),
     ]);
 

@@ -54,6 +54,7 @@ fn main() {
         pop(PersistencyMode::BbbMemorySide),
     ]);
     let mut report = Report::new("table1");
+    report.meta_scale_name("analytic");
     report.table(t);
     report.note("* BSP (Bulk Strict Persistency) is a prior-work reference point the");
     report.note("  paper compares against qualitatively only; it is not implemented here.");

@@ -32,6 +32,7 @@ fn main() {
         }
     }
     let mut report = Report::new("table10");
+    report.meta_scale_name("analytic");
     report.table(t);
     // The paper's headline derived from this table: even a 1024-entry bbPB
     // needs a far smaller battery than eADR.

@@ -37,7 +37,7 @@ fn main() {
         // code is memory ops, a third of those stores). Our op streams
         // contain only the data-structure accesses themselves, so we report
         // persisting stores over total committed ops, the closest analogue.
-        let measured = 100.0 * pstores as f64 / committed.max(1) as f64;
+        let measured = 100.0 * bbb_bench::norm(pstores, committed);
         t.row_owned(vec![
             kind.name().to_owned(),
             kind.description().to_owned(),

@@ -32,6 +32,7 @@ fn main() {
         nj(c.l3_to_nvmm_j_per_byte),
     ]);
     let mut report = Report::new("table6");
+    report.meta_scale_name("analytic");
     report.table(t);
     report.note(format!(
         "model parameters: dirty fraction {:.1}%, NVMM write bandwidth {:.1} GB/s per channel,",

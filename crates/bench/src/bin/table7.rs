@@ -49,6 +49,7 @@ fn main() {
         ]);
     }
     let mut report = Report::new("table7");
+    report.meta_scale_name("analytic");
     report.table(t5);
     report.table(t);
     report.note("paper: mobile 46.5 mJ vs 145 µJ (320x); server 550 mJ vs 775 µJ (709x)");

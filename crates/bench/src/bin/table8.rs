@@ -24,6 +24,7 @@ fn main() {
         ]);
     }
     let mut report = Report::new("table8");
+    report.meta_scale_name("analytic");
     report.table(t);
     report.note("paper: mobile 0.8 ms vs 2.6 µs (307x); server 1.8 ms vs 2.4 µs (750x)");
     report.emit().expect("report output");

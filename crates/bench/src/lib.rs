@@ -14,9 +14,12 @@
 #![warn(missing_docs)]
 
 pub use bbb_runner::{
-    execute_spec, geomean, json_requested, paper_config, unique_points, ExperimentSpec, Json,
-    Report, RunResult, Runner, Scale, PAPER_SEED,
+    execute_spec, geomean, json_requested, norm, paper_config, unique_points, ExperimentSpec, Json,
+    NormSeries, Report, RunResult, Runner, Scale, PAPER_SEED,
 };
+
+pub mod parity;
+pub mod registry;
 
 use bbb_core::PersistencyMode;
 use bbb_sim::SimConfig;

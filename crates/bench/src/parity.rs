@@ -1,0 +1,369 @@
+//! The paper-parity gate: checks committed `BENCH_*.json` artifacts
+//! against the [`registry`](crate::registry) — provenance metadata, the
+//! recorded scale, every applicable paper band — and against the
+//! previously committed version of the same artifact (per-cell drift
+//! within the band's tolerance).
+//!
+//! The logic is pure over parsed [`Json`] documents so it is unit- and
+//! golden-testable; the `parity` binary adds file/git I/O and the exit
+//! code.
+
+use std::fmt;
+
+use crate::registry::{bands_for, ArtifactPolicy, CellBand};
+use crate::Json;
+
+/// Severity of one finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within the band / requirement met.
+    Ok,
+    /// Out of band, missing provenance, wrong scale, or drifted.
+    Fail,
+    /// Informational (e.g. unbanded cells changed since the last commit).
+    Info,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Status::Ok => "ok",
+            Status::Fail => "FAIL",
+            Status::Info => "info",
+        })
+    }
+}
+
+/// One row of the drift table.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Artifact name.
+    pub artifact: String,
+    /// What was checked (`meta.scale`, `t1 geomean / BBB (32)`, ...).
+    pub what: String,
+    /// Verdict.
+    pub status: Status,
+    /// Measured value / band / previous value, human-readable.
+    pub detail: String,
+}
+
+impl Finding {
+    fn new(artifact: &str, what: impl Into<String>, status: Status, detail: String) -> Self {
+        Finding {
+            artifact: artifact.to_owned(),
+            what: what.into(),
+            status,
+            detail,
+        }
+    }
+}
+
+/// Extracts the leading decimal number from a rendered table cell
+/// (`"1.033"`, `"46.5 mJ"`, `"319x"`, `"98.2%"`).
+#[must_use]
+pub fn parse_cell(cell: &str) -> Option<f64> {
+    let s = cell.trim();
+    let end = s
+        .char_indices()
+        .take_while(|&(i, c)| c.is_ascii_digit() || c == '.' || (i == 0 && c == '-'))
+        .map(|(i, c)| i + c.len_utf8())
+        .last()?;
+    s[..end].parse().ok()
+}
+
+/// Looks up the cell a band points at: `tables[band.table]`, the row
+/// whose first cell equals `band.row`, the column whose header equals
+/// `band.col`.
+#[must_use]
+pub fn find_cell<'a>(doc: &'a Json, band: &CellBand) -> Option<&'a str> {
+    let table = doc.get("tables")?.as_arr()?.get(band.table)?;
+    let header = table.get("header")?.as_arr()?;
+    let col = header.iter().position(|h| h.as_str() == Some(band.col))?;
+    let rows = table.get("rows")?.as_arr()?;
+    let row = rows
+        .iter()
+        .find(|r| r.as_arr().and_then(|c| c.first()).and_then(Json::as_str) == Some(band.row))?;
+    row.as_arr()?.get(col)?.as_str()
+}
+
+fn meta_str<'a>(doc: &'a Json, key: &str) -> Option<&'a str> {
+    doc.get("meta")?.get(key)?.as_str()
+}
+
+/// Counts table cells that differ between two documents (same table /
+/// row / column positions; shape differences count too).
+#[must_use]
+pub fn cells_differing(doc: &Json, prev: &Json) -> usize {
+    fn rows_of(doc: &Json) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        let Some(tables) = doc.get("tables").and_then(Json::as_arr) else {
+            return out;
+        };
+        for t in tables {
+            let Some(rows) = t.get("rows").and_then(Json::as_arr) else {
+                continue;
+            };
+            for r in rows {
+                out.push(
+                    r.as_arr()
+                        .map(|cells| {
+                            cells
+                                .iter()
+                                .map(|c| c.as_str().unwrap_or_default().to_owned())
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                );
+            }
+        }
+        out
+    }
+    let (a, b) = (rows_of(doc), rows_of(prev));
+    let mut diff = a.len().abs_diff(b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        diff += ra.len().abs_diff(rb.len());
+        diff += ra.iter().zip(rb).filter(|(x, y)| x != y).count();
+    }
+    diff
+}
+
+/// Runs every check for one artifact. `prev` is the previously committed
+/// version of the same document, when one exists.
+#[must_use]
+pub fn check_artifact(policy: &ArtifactPolicy, doc: &Json, prev: Option<&Json>) -> Vec<Finding> {
+    let name = policy.name;
+    let mut out = Vec::new();
+
+    // Provenance: the artifact must say how it was made.
+    for key in ["scale", "commit", "command"] {
+        if meta_str(doc, key).is_none() {
+            out.push(Finding::new(
+                name,
+                format!("meta.{key}"),
+                Status::Fail,
+                format!("missing (regenerate: {})", policy.regen),
+            ));
+        }
+    }
+
+    // Scale: the committed artifact must be at the registry's fidelity.
+    let scale = meta_str(doc, "scale").unwrap_or("");
+    if !scale.is_empty() {
+        if scale == policy.scale {
+            out.push(Finding::new(
+                name,
+                "meta.scale",
+                Status::Ok,
+                scale.to_owned(),
+            ));
+        } else {
+            out.push(Finding::new(
+                name,
+                "meta.scale",
+                Status::Fail,
+                format!(
+                    "recorded '{scale}', registry requires '{}' (regenerate: {})",
+                    policy.scale, policy.regen
+                ),
+            ));
+        }
+    }
+
+    // Paper bands at the recorded scale.
+    for band in bands_for(name, scale) {
+        let what = format!("t{} {} / {}", band.table, band.row, band.col);
+        let Some(cell) = find_cell(doc, band) else {
+            out.push(Finding::new(
+                name,
+                what,
+                Status::Fail,
+                "cell not found (table shape changed?)".to_owned(),
+            ));
+            continue;
+        };
+        let Some(value) = parse_cell(cell) else {
+            out.push(Finding::new(
+                name,
+                what,
+                Status::Fail,
+                format!("unparseable cell '{cell}'"),
+            ));
+            continue;
+        };
+        let dev = (value - band.paper).abs();
+        let vs_paper = format!("measured {value} vs paper {} ± {}", band.paper, band.tol);
+        if dev > band.tol {
+            out.push(Finding::new(name, what, Status::Fail, vs_paper));
+            continue;
+        }
+        // Drift vs the previous committed run: a banded cell may not move
+        // by more than its tolerance between commits, even inside the
+        // paper band.
+        if let Some(prev_value) = prev.and_then(|p| find_cell(p, band)).and_then(parse_cell) {
+            let drift = (value - prev_value).abs();
+            if drift > band.tol {
+                out.push(Finding::new(
+                    name,
+                    what,
+                    Status::Fail,
+                    format!(
+                        "{vs_paper}; drifted from previous {prev_value} (|Δ| {drift:.4} > {})",
+                        band.tol
+                    ),
+                ));
+                continue;
+            }
+        }
+        out.push(Finding::new(name, what, Status::Ok, vs_paper));
+    }
+
+    // Informational summary of unbanded movement since the last commit.
+    if let Some(prev) = prev {
+        let n = cells_differing(doc, prev);
+        if n > 0 {
+            out.push(Finding::new(
+                name,
+                "vs previous commit",
+                Status::Info,
+                format!("{n} table cell(s) differ"),
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::policy_for;
+
+    fn doc(scale: &str, cell: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"name":"fig7","meta":{{"commit":"abc","command":"fig7 --json","scale":"{scale}"}},
+               "tables":[
+                 {{"title":"a","header":["Workload","BBB (32)","BBB (1024)","eADR"],
+                   "rows":[["rtree","1.000","1.000","1.000"],
+                           ["ctree","1.000","1.000","1.000"],
+                           ["hashmap","1.000","1.000","1.000"],
+                           ["mutateNC","1.000","1.000","1.000"],
+                           ["mutateC","1.000","1.000","1.000"],
+                           ["swapNC","1.030","1.000","1.000"],
+                           ["swapC","1.010","1.000","1.000"],
+                           ["geomean","1.008","1.000","1.000"]]}},
+                 {{"title":"b","header":["Workload","BBB (32)","BBB (1024)","eADR"],
+                   "rows":[["rtree","1.020","1.000","1.000"],
+                           ["ctree","1.010","1.000","1.000"],
+                           ["hashmap","1.050","1.000","1.000"],
+                           ["mutateNC","1.080","1.000","1.000"],
+                           ["mutateC","1.080","1.000","1.000"],
+                           ["swapNC","1.080","1.000","1.000"],
+                           ["swapC","1.080","1.000","1.000"],
+                           ["geomean","{cell}","1.000","1.000"]]}}],
+               "notes":[]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_cell_extracts_leading_numbers() {
+        assert_eq!(parse_cell("1.033"), Some(1.033));
+        assert_eq!(parse_cell("46.5 mJ"), Some(46.5));
+        assert_eq!(parse_cell("319x"), Some(319.0));
+        assert_eq!(parse_cell("98.2%"), Some(98.2));
+        assert_eq!(parse_cell("-0.5"), Some(-0.5));
+        assert_eq!(parse_cell("n/a"), None);
+        assert_eq!(parse_cell(""), None);
+    }
+
+    #[test]
+    fn wrong_scale_fails() {
+        let policy = policy_for("fig7").unwrap();
+        let findings = check_artifact(policy, &doc("smoke", "1.049"), None);
+        assert!(findings
+            .iter()
+            .any(|f| f.what == "meta.scale" && f.status == Status::Fail));
+    }
+
+    #[test]
+    fn missing_provenance_fails() {
+        let policy = policy_for("fig7").unwrap();
+        let bare = Json::parse(r#"{"name":"fig7","meta":{},"tables":[],"notes":[]}"#).unwrap();
+        let findings = check_artifact(policy, &bare, None);
+        let failed: Vec<_> = findings
+            .iter()
+            .filter(|f| f.status == Status::Fail)
+            .map(|f| f.what.as_str())
+            .collect();
+        assert!(failed.contains(&"meta.scale"));
+        assert!(failed.contains(&"meta.commit"));
+        assert!(failed.contains(&"meta.command"));
+    }
+
+    #[test]
+    fn out_of_band_cell_fails_and_in_band_passes() {
+        let policy = policy_for("fig7").unwrap();
+        let ok = check_artifact(policy, &doc("default", "1.049"), None);
+        assert!(ok
+            .iter()
+            .filter(|f| f.what.contains("t1 geomean / BBB (32)"))
+            .all(|f| f.status == Status::Ok));
+        let bad = check_artifact(policy, &doc("default", "1.300"), None);
+        assert!(bad
+            .iter()
+            .any(|f| f.what.contains("t1 geomean / BBB (32)") && f.status == Status::Fail));
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_fails_even_inside_band() {
+        let policy = policy_for("fig7").unwrap();
+        // 0.94 and 1.16 are both within paper 1.049 ± 0.12, but the move
+        // between commits exceeds the tolerance.
+        let findings = check_artifact(
+            policy,
+            &doc("default", "1.160"),
+            Some(&doc("default", "0.940")),
+        );
+        assert!(findings
+            .iter()
+            .any(|f| f.what.contains("t1 geomean / BBB (32)")
+                && f.status == Status::Fail
+                && f.detail.contains("drifted")));
+    }
+
+    #[test]
+    fn unbanded_changes_are_informational() {
+        let policy = policy_for("fig7").unwrap();
+        let a = doc("default", "1.049");
+        let mut b_text = a.to_string().replace("\"1.020\"", "\"1.021\"");
+        b_text.truncate(b_text.len());
+        let b = Json::parse(&b_text).unwrap();
+        let findings = check_artifact(policy, &a, Some(&b));
+        assert!(findings
+            .iter()
+            .any(|f| f.what == "vs previous commit" && f.status == Status::Info));
+        assert!(!findings.iter().any(|f| f.status == Status::Fail));
+    }
+
+    #[test]
+    fn missing_cell_is_a_failure() {
+        let policy = policy_for("fig7").unwrap();
+        let shapeless = Json::parse(
+            r#"{"name":"fig7","meta":{"commit":"x","command":"y","scale":"default"},
+                "tables":[],"notes":[]}"#,
+        )
+        .unwrap();
+        let findings = check_artifact(policy, &shapeless, None);
+        assert!(findings
+            .iter()
+            .any(|f| f.status == Status::Fail && f.detail.contains("cell not found")));
+    }
+
+    #[test]
+    fn cells_differing_counts_changes_and_shape() {
+        let a = doc("default", "1.049");
+        assert_eq!(cells_differing(&a, &a), 0);
+        let b = doc("default", "1.050");
+        assert_eq!(cells_differing(&a, &b), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Golden-file test: a checked-in miniature `BENCH_*.json` artifact is
+//! parsed, navigated, checked, and re-serialized byte-identically. This
+//! pins both the serializer format (what the bench binaries write) and
+//! the parser (what the parity gate reads) to the committed bytes.
+
+use bbb_bench::parity::{check_artifact, find_cell, parse_cell, Status};
+use bbb_bench::registry::{ArtifactPolicy, CellBand};
+use bbb_bench::Json;
+
+const GOLDEN: &str = include_str!("golden/BENCH_mini.json");
+
+fn mini() -> Json {
+    Json::parse(GOLDEN).expect("golden artifact parses")
+}
+
+#[test]
+fn golden_round_trips_byte_identically() {
+    // Artifacts are written as one compact line plus a trailing newline;
+    // re-serializing the parsed document must reproduce the exact bytes.
+    assert_eq!(format!("{}\n", mini()), GOLDEN);
+}
+
+#[test]
+fn golden_navigates_like_a_real_artifact() {
+    let doc = mini();
+    assert_eq!(doc.get("name").and_then(Json::as_str), Some("mini"));
+    assert_eq!(
+        doc.get("meta")
+            .and_then(|m| m.get("scale"))
+            .and_then(Json::as_str),
+        Some("smoke")
+    );
+
+    let band = CellBand {
+        artifact: "mini",
+        table: 0,
+        row: "geomean",
+        col: "BBB (32)",
+        paper: 1.0,
+        tol: 0.05,
+        scale: "smoke",
+    };
+    assert_eq!(find_cell(&doc, &band), Some("1.015"));
+
+    let unit_band = CellBand {
+        table: 1,
+        row: "Server Class",
+        col: "Energy",
+        ..band
+    };
+    let cell = find_cell(&doc, &unit_band).expect("unit cell present");
+    assert_eq!(parse_cell(cell), Some(552.8));
+}
+
+#[test]
+fn golden_passes_the_provenance_checks() {
+    // "mini" has no registered bands, so check_artifact exercises exactly
+    // the provenance/scale half of the gate.
+    let policy = ArtifactPolicy {
+        name: "mini",
+        scale: "smoke",
+        regen: "n/a (test fixture)",
+    };
+    let findings = check_artifact(&policy, &mini(), Some(&mini()));
+    assert!(
+        findings.iter().all(|f| f.status != Status::Fail),
+        "unexpected failures: {findings:?}"
+    );
+
+    let wrong_scale = ArtifactPolicy {
+        scale: "default",
+        ..policy
+    };
+    let findings = check_artifact(&wrong_scale, &mini(), None);
+    assert!(findings
+        .iter()
+        .any(|f| f.what == "meta.scale" && f.status == Status::Fail));
+}

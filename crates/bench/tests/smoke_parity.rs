@@ -1,0 +1,36 @@
+//! Regression lock for the Fig. 7(b) fidelity fix: at smoke scale the
+//! per-core persistent footprint fits the 1024-entry bbPB, so BBB-1024
+//! must match eADR's steady-state NVMM write volume (the paper's "<1%"
+//! claim). Before the watermark-draining fix this ratio sat near 1.06
+//! and crept with every drain-policy change — this test fails that
+//! class of drift at `cargo test` time, without needing the full
+//! default-scale artifact regeneration.
+
+use bbb_bench::{norm, paper_config, ExperimentSpec, Scale};
+use bbb_core::PersistencyMode;
+use bbb_workloads::WorkloadKind;
+
+#[test]
+fn bbb_1024_matches_eadr_writes_at_smoke_scale() {
+    let scale = Scale::SMOKE;
+    let cfg = paper_config(scale);
+    for kind in [WorkloadKind::Rtree, WorkloadKind::Ctree] {
+        let eadr = bbb_bench::execute_spec(&ExperimentSpec::new(
+            kind,
+            PersistencyMode::Eadr,
+            &cfg,
+            scale,
+        ));
+        let bbb = bbb_bench::execute_spec(
+            &ExperimentSpec::new(kind, PersistencyMode::BbbMemorySide, &cfg, scale)
+                .with_entries(1024),
+        );
+        let ratio = norm(bbb.nvmm_writes_steady(), eadr.nvmm_writes_steady());
+        assert!(
+            (ratio - 1.0).abs() <= 0.005,
+            "{}: BBB-1024 steady NVMM writes {:.4}x eADR (paper: <1%)",
+            kind.name(),
+            ratio
+        );
+    }
+}

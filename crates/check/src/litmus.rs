@@ -30,6 +30,10 @@ const DATA: u64 = 0x2000;
 const FLAG: u64 = 0x3000;
 const PAD2: u64 = 0x4000;
 const PAD3: u64 = 0x5000;
+/// Deliberately NOT another 0x1000 stride: the small config's L2 maps
+/// 0x1000-strided blocks to one set, and a fifth way-conflicting line
+/// would evict DATA's dirty line to media, masking the mp anomaly.
+const PAD4: u64 = 0x6040;
 
 /// Whether the forbidden outcome may legally appear in some crash image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,12 +132,13 @@ fn xy_forbidden(img: &NvmImage, b: u64) -> bool {
 }
 
 /// Consumer half of the message-passing shapes: read the data, publish a
-/// flag, then pad with enough stores and compute to push the flag through
-/// a small persist buffer's capacity-threshold drain.
+/// flag, then pad with enough stores to fill a small persist buffer so its
+/// capacity drain burst pushes the flag to NVMM.
 fn mp_consumer() -> Vec<(usize, Op)> {
     vec![
         (1, Op::Compute { cycles: 3000 }),
         (1, Op::load_u64(0)), // placeholder, patched by caller
+        (1, Op::store_u64(0, 0)),
         (1, Op::store_u64(0, 0)),
         (1, Op::store_u64(0, 0)),
         (1, Op::store_u64(0, 0)),
@@ -151,6 +156,7 @@ fn mp_build_with(b: u64, producer: Vec<(usize, Op)>) -> Vec<(usize, Op)> {
     consumer[2].1 = Op::store_u64(b + FLAG, 1);
     consumer[3].1 = Op::store_u64(b + PAD2, 1);
     consumer[4].1 = Op::store_u64(b + PAD3, 1);
+    consumer[5].1 = Op::store_u64(b + PAD4, 1);
     ops.extend(consumer);
     ops
 }

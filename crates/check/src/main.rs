@@ -51,6 +51,7 @@ fn main() {
 fn litmus_cmd() -> bool {
     let rows = run_all();
     let mut report = Report::with_json("litmus", json_requested());
+    report.meta_scale_name("litmus");
     report.meta("shapes", shapes().len());
     report.meta("modes", PersistencyMode::ALL.len());
     let mut table = Table::new(
@@ -225,6 +226,7 @@ fn audit_cmd() -> bool {
     let bep_row = run_shape(mp, PersistencyMode::Bep);
 
     let mut report = Report::with_json("check_audit", json_requested());
+    report.meta_scale_name("smoke");
     report.meta("cells", cells.len());
     let mut table = Table::new(
         "Persist-order audit",

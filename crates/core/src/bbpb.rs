@@ -9,10 +9,15 @@
 //! order — the properties that let a 32-entry buffer match eADR (paper
 //! §III-B, §V).
 //!
-//! Draining follows the paper's policy (§III-F): FCFS, initiated only when
-//! occupancy reaches the configured threshold (75% of capacity by default),
-//! stopping once it falls below — keeping the buffer as full as possible to
-//! maximize coalescing while keeping full-buffer stalls rare.
+//! Draining follows the paper's policy (§III-F): lazy, watermark-driven.
+//! A drain burst begins only when the buffer fills and empties entries
+//! until occupancy falls back to the configured threshold (75% of
+//! capacity by default) — so the whole capacity, not just the headroom
+//! below the threshold, serves as the coalescing window. The drain victim
+//! is the least-recently-written entry (a coalesce refreshes its
+//! position): draining a still-hot block would split its dirty episode and
+//! cost an extra NVMM write the moment the next store re-allocates it,
+//! defeating the coalescing the lazy policy exists to protect.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -62,10 +67,12 @@ struct InFlight {
 #[derive(Debug, Clone)]
 pub struct Bbpb {
     capacity: usize,
-    drain_start_level: usize,
+    drain_trigger_level: usize,
+    drain_stop_level: usize,
     drain_latency: Cycle,
     resident: HashMap<BlockAddr, Resident>,
-    /// FCFS allocation order of resident entries.
+    /// Resident entries in last-write order (front = least recently
+    /// written = next drain victim).
     fifo: VecDeque<BlockAddr>,
     in_flight: Vec<InFlight>,
     allocations: Counter,
@@ -91,7 +98,8 @@ impl Bbpb {
     pub fn new(cfg: &BbpbConfig) -> Self {
         Self {
             capacity: cfg.entries,
-            drain_start_level: cfg.drain_policy.start_level(cfg.entries),
+            drain_trigger_level: cfg.drain_policy.trigger_level(cfg.entries),
+            drain_stop_level: cfg.drain_policy.stop_level(cfg.entries),
             drain_latency: cfg.drain_latency,
             resident: HashMap::new(),
             fifo: VecDeque::new(),
@@ -148,6 +156,7 @@ impl Bbpb {
         if let Some(entry) = self.resident.get_mut(&block) {
             entry.data = data;
             self.coalesces.inc();
+            self.touch(block);
             self.maybe_drain(now, mem);
             return AllocOutcome {
                 done: now,
@@ -156,6 +165,9 @@ impl Bbpb {
             };
         }
 
+        // A full buffer starts its drain burst before the store stalls, so
+        // the wait below is for WPQ completions already in flight.
+        self.maybe_drain(now, mem);
         let mut t = now;
         let mut rejected = false;
         while self.resident.len() + self.in_flight.len() >= self.capacity {
@@ -176,9 +188,18 @@ impl Bbpb {
         }
     }
 
+    /// Moves `block` to the most-recently-written end of the drain order.
+    fn touch(&mut self, block: BlockAddr) {
+        if self.fifo.back() == Some(&block) {
+            return;
+        }
+        self.fifo.retain(|b| *b != block);
+        self.fifo.push_back(block);
+    }
+
     /// Removes `block`'s resident entry for migration to another core's
-    /// bbPB (remote invalidation, paper Fig. 6(a)/(b): the block moves —
-    /// without draining — and the new core becomes responsible for it).
+    /// bbPB (paper Fig. 6(a)/(b): the block moves — without draining —
+    /// and the new core becomes responsible for it).
     pub fn take_for_move(&mut self, block: BlockAddr) -> Option<[u8; BLOCK_BYTES]> {
         let entry = self.resident.remove(&block)?;
         self.fifo.retain(|b| *b != block);
@@ -200,6 +221,7 @@ impl Bbpb {
         if let Some(entry) = self.resident.get_mut(&block) {
             entry.data = data;
             self.coalesces.inc();
+            self.touch(block);
             return;
         }
         while self.resident.len() + self.in_flight.len() >= self.capacity {
@@ -239,16 +261,20 @@ impl Bbpb {
         true
     }
 
-    /// Threshold draining (paper §III-F): while the number of *resident*
-    /// (still-coalescable) entries is at or above the start level, drain
-    /// the oldest one. In-flight drains are deliberately not counted:
-    /// during WPQ backpressure they would otherwise inflate occupancy and
-    /// make every new allocation strip another resident entry, collapsing
-    /// the coalescing window exactly when write bandwidth is scarcest.
-    /// Capacity pressure from slow drains is handled by rejections instead.
+    /// Watermark draining (paper §III-F): when total occupancy (resident
+    /// plus in-flight) reaches the trigger level — the full capacity for
+    /// the threshold policy — a burst drains least-recently-written
+    /// resident entries until the resident count falls to the stop level.
+    /// Drained entries move to the in-flight set, so the burst frees
+    /// allocation slots as the WPQ absorbs the writes; a new allocation
+    /// arriving mid-burst waits for the first completion rather than
+    /// stripping further resident entries.
     pub fn maybe_drain(&mut self, now: Cycle, mem: &mut dyn MemoryPort) {
         self.advance(now);
-        while self.resident.len() >= self.drain_start_level {
+        if self.resident.len() + self.in_flight.len() < self.drain_trigger_level {
+            return;
+        }
+        while self.resident.len() > self.drain_stop_level {
             if !self.drain_oldest(now, mem) {
                 break;
             }
@@ -411,21 +437,38 @@ mod tests {
     }
 
     #[test]
-    fn threshold_draining_starts_at_level() {
+    fn watermark_burst_triggers_at_capacity_and_stops_at_level() {
         let mut n = nvmm();
-        // 4 entries, 75% threshold -> drains start at 3 occupied.
+        // 4 entries, 75% stop level: the burst triggers when occupancy
+        // reaches capacity and drains residents down to 3, keeping the
+        // whole buffer available as the coalescing window until then.
         let mut p = pb(4, 75);
         p.allocate(0, b(1), [1; 64], &mut n);
         p.allocate(0, b(2), [2; 64], &mut n);
-        assert_eq!(p.stats().get("bbpb.drains"), 0, "below threshold");
         p.allocate(0, b(3), [3; 64], &mut n);
-        // Reached 3 -> drained down to 2 (WPQ accepts instantly).
+        assert_eq!(p.stats().get("bbpb.drains"), 0, "below trigger");
+        p.allocate(0, b(4), [4; 64], &mut n);
+        // Reached capacity -> burst drained down to the stop level.
         assert!(p.stats().get("bbpb.drains") >= 1);
-        assert!(p.occupancy(0) < 3);
-        // FCFS: block 1 drained first.
+        // Least recently written drained first.
         assert!(!p.contains(b(1)));
-        assert!(p.contains(b(3)));
+        assert!(p.contains(b(4)));
         assert_eq!(n.endurance().writes_to(b(1)), 1);
+    }
+
+    #[test]
+    fn coalescing_refreshes_drain_order() {
+        let mut n = nvmm();
+        let mut p = pb(4, 75);
+        p.allocate(0, b(1), [1; 64], &mut n);
+        p.allocate(0, b(2), [2; 64], &mut n);
+        p.allocate(0, b(3), [3; 64], &mut n);
+        // Re-writing the oldest entry makes b2 the drain victim.
+        let out = p.allocate(0, b(1), [9; 64], &mut n);
+        assert!(out.coalesced);
+        p.allocate(0, b(4), [4; 64], &mut n);
+        assert!(p.contains(b(1)), "recently re-written entry survived");
+        assert!(!p.contains(b(2)), "least recently written drained");
     }
 
     #[test]
@@ -455,19 +498,23 @@ mod tests {
             ..MemTiming::default()
         };
         let mut n = NvmmController::new(timing);
+        // Occupy the single WPQ slot so the stall-path drain backpressures
+        // behind its 1000-cycle media write.
+        n.write_block(0, b(9), [9; 64]);
+        // Threshold 100%: stop level == capacity, so nothing drains
+        // proactively — entries leave only when an allocation needs a slot.
         let mut p = pb(2, 100);
         p.allocate(0, b(1), [1; 64], &mut n);
-        // b1 drains instantly (WPQ empty). b2 stays resident.
         p.allocate(0, b(2), [2; 64], &mut n);
-        // b4's threshold drain of b2 backpressures (WPQ holds b1 until its
-        // 1000-cycle media write completes), leaving occupancy at 2.
-        p.allocate(0, b(4), [4; 64], &mut n);
-        assert_eq!(p.occupancy(0), 2, "resident b4 + in-flight b2");
-        // The buffer is truly full now: this allocation must stall.
+        assert_eq!(p.occupancy(0), 2);
+        assert_eq!(p.stats().get("bbpb.drains"), 0, "fully lazy");
+        // The buffer is full: this allocation stalls while the oldest
+        // entry drains through the slow WPQ.
         let out = p.allocate(0, b(5), [5; 64], &mut n);
         assert!(out.rejected);
-        assert!(out.done >= 1000, "waited for the in-flight drain to free");
+        assert!(out.done >= 1000, "waited for the drain to free a slot");
         assert!(p.contains(b(5)));
+        assert!(!p.contains(b(1)));
         assert_eq!(p.stats().get("bbpb.rejections"), 1);
     }
 

@@ -116,6 +116,12 @@ impl PersistState {
     /// the holder index in sync. The system's store-drain path goes
     /// through here rather than `bbpb_mut().allocate(..)` directly.
     ///
+    /// If another core's bbPB still holds the block — possible once the
+    /// previous writer's L1 copy is gone, so no coherence message
+    /// announces the new write to the old holder — the entry migrates
+    /// here without draining (paper Fig. 6(a)), preserving invariant 4
+    /// and the coalescing the drain would forfeit.
+    ///
     /// # Panics
     ///
     /// Panics as [`PersistState::bbpb`] does.
@@ -127,6 +133,27 @@ impl PersistState {
         data: [u8; BLOCK_BYTES],
         mem: &mut dyn MemoryPort,
     ) -> AllocOutcome {
+        if let Some(holder) = self.holder_of(block) {
+            if holder != core {
+                // Late entry migration: `data` is the full post-store block
+                // payload, so the stale entry's bytes are superseded.
+                let _ = self.bbpbs[holder].take_for_move(block);
+                self.entry_moves.inc();
+                self.trace.push(TraceEvent::PbMove {
+                    from: holder,
+                    to: core,
+                    block,
+                    cycle: now,
+                });
+                self.bbpbs[core].insert_moved(now, block, data, mem);
+                self.holder_index.insert(block, core);
+                return AllocOutcome {
+                    done: now,
+                    coalesced: true,
+                    rejected: false,
+                };
+            }
+        }
         let out = self.bbpbs[core].allocate(now, block, data, mem);
         self.holder_index.insert(block, core);
         out
@@ -385,18 +412,23 @@ impl CoherenceHooks for PersistState {
         }
     }
 
-    fn on_l1_evict(&mut self, now: Cycle, block: BlockAddr, core: usize, mem: &mut dyn MemoryPort) {
+    fn on_l1_evict(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+        core: usize,
+        _mem: &mut dyn MemoryPort,
+    ) {
         self.trace.push(TraceEvent::L1Evict {
             core,
             block,
             cycle: now,
         });
-        // bbPB self-L1 inclusion: once the L1 copy leaves, no coherence
-        // message can reach this bbPB about the block, so drain it now.
-        if self.mode == PersistencyMode::BbbMemorySide && self.bbpbs[core].contains(block) {
-            self.bbpbs[core].force_drain(now, block, mem);
-            self.holder_index.remove(&block);
-        }
+        // Table II lists no memory-side bbPB action for an L1→L2 writeback:
+        // it is an on-chip event, invisible at the memory side. The entry
+        // stays put; if another core writes the block while no L1 copy
+        // exists (so no invalidation reaches us), `allocate_block` migrates
+        // the entry at allocation time instead (Fig. 6(a)).
     }
 }
 
@@ -541,6 +573,23 @@ mod tests {
         s.allocate_block(1, 20, b(6), [2; 64], &mut n);
         s.bbpb_mut(1).force_drain(21, b(6), &mut n);
         assert_eq!(s.holder_of(b(6)), None);
+    }
+
+    #[test]
+    fn allocate_migrates_entry_held_by_another_core() {
+        // A new writer whose L1 miss raised no coherence message to the
+        // old holder (its copy was silently evicted) still finds the
+        // block in the other core's bbPB: the entry migrates without a
+        // drain, and the new payload supersedes the stale bytes.
+        let mut s = state(PersistencyMode::BbbMemorySide);
+        let mut n = nvmm();
+        s.allocate_block(1, 0, b(5), [1; 64], &mut n);
+        let out = s.allocate_block(0, 10, b(5), [2; 64], &mut n);
+        assert!(out.coalesced, "migration counts as a coalesce, not a miss");
+        assert_eq!(s.holder_of(b(5)), Some(0));
+        assert_eq!(s.stats().get("bbpb.entry_moves"), 1);
+        assert_eq!(s.stats().get("bbpb.drains"), 0);
+        assert_eq!(n.endurance().total_writes(), 0, "no NVMM traffic");
     }
 
     #[test]

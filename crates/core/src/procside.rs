@@ -52,7 +52,8 @@ pub struct StoreEntry {
 #[derive(Debug, Clone)]
 pub struct ProcSidePb {
     capacity: usize,
-    drain_start_level: usize,
+    drain_trigger_level: usize,
+    drain_stop_level: usize,
     drain_latency: Cycle,
     entries: VecDeque<StoreEntry>,
     in_flight: Vec<Cycle>,
@@ -74,7 +75,8 @@ impl ProcSidePb {
     pub fn new(cfg: &BbpbConfig) -> Self {
         Self {
             capacity: cfg.entries,
-            drain_start_level: cfg.drain_policy.start_level(cfg.entries),
+            drain_trigger_level: cfg.drain_policy.trigger_level(cfg.entries),
+            drain_stop_level: cfg.drain_policy.stop_level(cfg.entries),
             drain_latency: cfg.drain_latency,
             entries: VecDeque::new(),
             in_flight: Vec::new(),
@@ -121,6 +123,8 @@ impl ProcSidePb {
             }
         }
 
+        // A full buffer starts its drain burst before the store stalls.
+        self.maybe_drain(now, mem);
         let mut t = now;
         let mut rejected = false;
         while self.entries.len() + self.in_flight.len() >= self.capacity {
@@ -147,12 +151,15 @@ impl ProcSidePb {
         }
     }
 
-    /// Threshold draining, strictly FCFS. As in the memory-side buffer,
-    /// only resident entries count toward the drain trigger (see
-    /// [`crate::Bbpb::maybe_drain`]).
+    /// Watermark draining, strictly FCFS: when the buffer fills, a burst
+    /// drains oldest entries until occupancy falls to the stop level (see
+    /// [`crate::Bbpb::maybe_drain`] for the trigger/stop semantics).
     pub fn maybe_drain(&mut self, now: Cycle, mem: &mut dyn MemoryPort) {
         self.advance(now);
-        while self.entries.len() >= self.drain_start_level {
+        if self.entries.len() + self.in_flight.len() < self.drain_trigger_level {
+            return;
+        }
+        while self.entries.len() > self.drain_stop_level {
             if !self.drain_oldest(now, mem) {
                 break;
             }
@@ -364,13 +371,14 @@ mod tests {
     }
 
     #[test]
-    fn threshold_draining_kicks_in() {
+    fn watermark_draining_kicks_in_at_capacity() {
         let mut n = nvmm();
-        let mut p = pb(4, 75); // level 3
+        let mut p = pb(4, 75); // trigger at 4 occupied, stop at 3
         p.push(0, b(1), 0, &[1u8; 8], &mut n);
         p.push(0, b(2), 0, &[2u8; 8], &mut n);
-        assert_eq!(p.stats().get("bbpb.drains"), 0);
         p.push(0, b(3), 0, &[3u8; 8], &mut n);
+        assert_eq!(p.stats().get("bbpb.drains"), 0, "below trigger");
+        p.push(0, b(4), 0, &[4u8; 8], &mut n);
         assert!(p.stats().get("bbpb.drains") >= 1);
     }
 

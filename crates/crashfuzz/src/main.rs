@@ -127,6 +127,7 @@ fn main() {
     }
 
     let mut report = Report::with_json("crashfuzz", json_requested());
+    report.meta_scale_name(if smoke { "smoke" } else { "full" });
     report.meta("seed", seed);
     report.meta("grid", if smoke { "smoke" } else { "full" });
     report.meta("pairs", configs.len());
@@ -173,7 +174,7 @@ fn main() {
     );
     report.emit().expect("report written");
 
-    emit_perf_report(&runner, &flat, total_points, wall_secs, &perf);
+    emit_perf_report(&runner, &flat, total_points, wall_secs, &perf, smoke);
 
     let mut failed = false;
     for (cfg, out) in configs.iter().zip(&outcomes) {
@@ -217,8 +218,10 @@ fn emit_perf_report(
     total_points: usize,
     wall_secs: f64,
     perf: &SweepPerf,
+    smoke: bool,
 ) {
     let mut report = Report::with_json("perf", json_requested());
+    report.meta_scale_name(if smoke { "smoke" } else { "full" });
     report.meta("threads", runner.threads());
     report.meta("shards", shards.len());
     report.meta("wall_seconds", wall_secs);

@@ -52,6 +52,313 @@ impl Json {
     pub fn arr<I: IntoIterator<Item = Json>>(items: I) -> Json {
         Json::Arr(items.into_iter().collect())
     }
+
+    /// Parses a JSON document.
+    ///
+    /// Accepts everything the [`Display`](fmt::Display) serializer emits
+    /// (and standard JSON beyond it: `\/`, `\b`, `\f`, surrogate-pair
+    /// escapes, exponent-form numbers). Integer literals without sign,
+    /// fraction, or exponent that fit in `u64` become [`Json::UInt`];
+    /// everything else numeric becomes [`Json::Num`]. Serializing a parsed
+    /// value reproduces the input byte-for-byte for serializer-produced
+    /// documents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the byte offset and what went wrong.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing content after document"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object; `None` for other variants or a missing
+    /// key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array; `None` for other variants.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents; `None` for other variants.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of a `UInt` or `Num`; `None` for other variants.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(n) => Some(n as f64),
+            Json::Num(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The integer value of a `UInt`; `None` for other variants.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: what was expected and the byte offset where the input
+/// stopped making sense.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                self.pos += 1;
+            }
+            // The unescaped stretch is valid UTF-8 because the input is.
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input str"));
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, ParseError> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: a \uXXXX low surrogate must follow.
+                    if self.peek() != Some(b'\\') {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    self.pos += 1;
+                    self.expect(b'u')?;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("unpaired surrogate"))?
+                }
+            }
+            _ => return Err(self.err("unknown escape")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (d as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit in \\u escape"))?;
+            v = v * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let integral_end = self.pos;
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if self.pos == integral_end && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
+            message: format!("invalid number '{text}'"),
+            offset: start,
+        })
+    }
 }
 
 impl From<&str> for Json {
@@ -185,5 +492,151 @@ mod tests {
     fn object_keys_keep_insertion_order() {
         let doc = Json::obj([("z", Json::Null), ("a", Json::Null)]);
         assert_eq!(doc.to_string(), r#"{"z":null,"a":null}"#);
+    }
+
+    /// Serialize → parse → serialize must be the identity on serializer
+    /// output (the property the parity gate's reader relies on).
+    fn assert_round_trips(doc: &Json) {
+        let text = doc.to_string();
+        let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("parse {text:?}: {e}"));
+        assert_eq!(parsed.to_string(), text, "round trip of {text:?}");
+    }
+
+    #[test]
+    fn round_trip_scalars() {
+        for doc in [
+            Json::Null,
+            Json::from(true),
+            Json::from(false),
+            Json::from(0u64),
+            Json::from(u64::MAX),
+            Json::from(42u64),
+            Json::Num(1.5),
+            Json::Num(-0.25),
+            Json::Num(2.155_759_648),
+            Json::Num(29_049.156_782_435_515),
+            Json::Num(1e300),
+            Json::Num(-1e-300),
+            Json::from("plain"),
+            Json::from(""),
+        ] {
+            assert_round_trips(&doc);
+        }
+    }
+
+    #[test]
+    fn round_trip_every_escape_class() {
+        // Each class the serializer emits: quote, backslash, the named
+        // control escapes, and the \u00xx fallback for other controls.
+        let mut s = String::from("q\"b\\n\nr\rt\t");
+        for c in 0u32..0x20 {
+            s.push(char::from_u32(c).unwrap());
+        }
+        s.push_str("héllo ünïcode 🚀");
+        assert_round_trips(&Json::from(s.as_str()));
+        let parsed = Json::parse(&Json::from(s.as_str()).to_string()).unwrap();
+        assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn round_trip_nested_document() {
+        let doc = Json::obj([
+            ("name", Json::from("fig7")),
+            (
+                "meta",
+                Json::obj([
+                    ("scale", Json::from("default")),
+                    ("initial", Json::from(400_000u64)),
+                    ("wall_seconds", Json::Num(2.155_759_648)),
+                ]),
+            ),
+            (
+                "tables",
+                Json::arr([Json::obj([
+                    ("title", Json::from("Fig. 7(a)")),
+                    ("header", Json::arr([Json::from("Workload")])),
+                    (
+                        "rows",
+                        Json::arr([Json::arr([Json::from("rtree"), Json::from("1.000")])]),
+                    ),
+                ])]),
+            ),
+            ("notes", Json::arr([])),
+            ("empty_obj", Json::obj::<String, _>([])),
+            ("nothing", Json::Null),
+        ]);
+        assert_round_trips(&doc);
+    }
+
+    #[test]
+    fn parse_accepts_standard_json_beyond_serializer_output() {
+        // Whitespace, \/ \b \f escapes, surrogate pairs, exponents.
+        let doc =
+            Json::parse(" { \"a\\/b\" : [ 1 , -2.5e1 , \"\\ud83d\\ude00\\b\\f\" ] } \n").unwrap();
+        let items = doc.get("a/b").unwrap().as_arr().unwrap();
+        assert_eq!(items[0], Json::UInt(1));
+        assert_eq!(items[1], Json::Num(-25.0));
+        assert_eq!(items[2].as_str(), Some("\u{1F600}\u{8}\u{c}"));
+    }
+
+    #[test]
+    fn integer_literals_parse_as_uint_and_others_as_num() {
+        assert_eq!(Json::parse("7").unwrap(), Json::UInt(7));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        // Too big for u64: falls back to f64.
+        assert!(matches!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::Num(_)
+        ));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Num(-7.0));
+        assert_eq!(Json::parse("7.0").unwrap(), Json::Num(7.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "nul",
+            "truefalse",
+            "1 2",
+            "01x",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = Json::parse(r#"{"meta":{"scale":"smoke","threads":4},"xs":[1,2.5]}"#).unwrap();
+        assert_eq!(
+            doc.get("meta")
+                .and_then(|m| m.get("scale"))
+                .and_then(Json::as_str),
+            Some("smoke")
+        );
+        assert_eq!(
+            doc.get("meta")
+                .and_then(|m| m.get("threads"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+        let xs = doc.get("xs").unwrap().as_arr().unwrap();
+        assert_eq!(xs[0].as_f64(), Some(1.0));
+        assert_eq!(xs[1].as_f64(), Some(2.5));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Null.get("k"), None);
+        assert_eq!(Json::Null.as_f64(), None);
     }
 }

@@ -57,23 +57,48 @@ pub struct Scale {
 }
 
 impl Scale {
+    /// CI sizing: seconds for the full figure set.
+    pub const SMOKE: Scale = Scale {
+        initial: 20_000,
+        per_core_ops: 300,
+    };
+    /// Checked-in artifact sizing: minutes for the full set, large enough
+    /// for the paper's shapes.
+    pub const DEFAULT: Scale = Scale {
+        initial: 400_000,
+        per_core_ops: 2_000,
+    };
+    /// Paper sizing: 1M-node structures, long runs.
+    pub const PAPER: Scale = Scale {
+        initial: 1_000_000,
+        per_core_ops: 8_000,
+    };
+
     /// Reads `BBB_SCALE` (`smoke`, `default`, `paper`); unknown values get
     /// the default.
     #[must_use]
     pub fn from_env() -> Self {
         match std::env::var("BBB_SCALE").as_deref() {
-            Ok("smoke") => Scale {
-                initial: 20_000,
-                per_core_ops: 300,
-            },
-            Ok("paper") => Scale {
-                initial: 1_000_000,
-                per_core_ops: 8_000,
-            },
-            _ => Scale {
-                initial: 400_000,
-                per_core_ops: 2_000,
-            },
+            Ok("smoke") => Scale::SMOKE,
+            Ok("paper") => Scale::PAPER,
+            _ => Scale::DEFAULT,
+        }
+    }
+
+    /// The preset name this sizing corresponds to (`smoke`, `default`,
+    /// `paper`), or `custom` for hand-built sizings. Recorded in every
+    /// report's metadata so the parity gate can tell which registry bands
+    /// apply to an artifact.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        if self == Scale::SMOKE {
+            "smoke"
+        } else if self == Scale::DEFAULT {
+            "default"
+        } else if self == Scale::PAPER {
+            "paper"
+        } else {
+            "custom"
         }
     }
 }
@@ -87,6 +112,55 @@ pub fn paper_config(scale: Scale) -> SimConfig {
     let need = (scale.initial + 8 * scale.per_core_ops) * 512;
     cfg.persistent_heap_bytes = need.next_power_of_two().max(64 * 1024 * 1024);
     cfg
+}
+
+/// Ratio of `value` to `base`, clamping a zero base to 1 — the shared
+/// normalization every "X normalized to eADR" table uses. The clamp keeps
+/// degenerate smoke-scale points (a baseline that wrote nothing) from
+/// producing infinities instead of a visibly wrong-but-finite ratio.
+#[must_use]
+pub fn norm(value: u64, base: u64) -> f64 {
+    value as f64 / base.max(1) as f64
+}
+
+/// One normalized column of a figure table: accumulates per-workload
+/// ratios, renders each as the standard `x.xxx` cell, and produces the
+/// geomean footer cell — the pattern previously copy-pasted across the
+/// fig7 / procside / spectrum binaries.
+#[derive(Debug, Default, Clone)]
+pub struct NormSeries {
+    ratios: Vec<f64>,
+}
+
+impl NormSeries {
+    /// An empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `norm(value, base)` and returns the rendered cell.
+    pub fn push(&mut self, value: u64, base: u64) -> String {
+        self.push_ratio(norm(value, base))
+    }
+
+    /// Records an already-computed ratio and returns the rendered cell.
+    pub fn push_ratio(&mut self, ratio: f64) -> String {
+        self.ratios.push(ratio);
+        format!("{ratio:.3}")
+    }
+
+    /// The ratios recorded so far.
+    #[must_use]
+    pub fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    /// The geomean footer cell over everything recorded.
+    #[must_use]
+    pub fn geomean_cell(&self) -> String {
+        format!("{:.3}", geomean(&self.ratios))
+    }
 }
 
 /// Geometric mean of a slice of ratios.
@@ -126,6 +200,33 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn geomean_empty_panics() {
         let _ = geomean(&[]);
+    }
+
+    #[test]
+    fn scale_names_round_trip_presets() {
+        assert_eq!(Scale::SMOKE.name(), "smoke");
+        assert_eq!(Scale::DEFAULT.name(), "default");
+        assert_eq!(Scale::PAPER.name(), "paper");
+        let custom = Scale {
+            initial: 7,
+            per_core_ops: 3,
+        };
+        assert_eq!(custom.name(), "custom");
+    }
+
+    #[test]
+    fn norm_clamps_zero_base() {
+        assert!((norm(5, 0) - 5.0).abs() < 1e-12);
+        assert!((norm(3, 2) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_series_renders_cells_and_geomean() {
+        let mut s = NormSeries::new();
+        assert_eq!(s.push(1, 1), "1.000");
+        assert_eq!(s.push_ratio(4.0), "4.000");
+        assert_eq!(s.ratios(), &[1.0, 4.0]);
+        assert_eq!(s.geomean_cell(), "2.000");
     }
 
     #[test]

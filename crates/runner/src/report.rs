@@ -46,11 +46,22 @@ impl Report {
     }
 
     /// A report with JSON output explicitly on or off.
+    ///
+    /// JSON reports always carry `commit` (the git HEAD that produced the
+    /// artifact, `unknown` outside a repository) and `command` (the
+    /// invocation that regenerates it) in their metadata, so every
+    /// committed `BENCH_*.json` is self-describing and the parity gate can
+    /// reject artifacts of unknown provenance.
     #[must_use]
     pub fn with_json(name: &str, json: bool) -> Self {
+        let mut meta = Vec::new();
+        if json {
+            meta.push(("commit".to_owned(), Json::from(git_head())));
+            meta.push(("command".to_owned(), Json::from(invocation())));
+        }
         Self {
             name: name.to_owned(),
-            meta: Vec::new(),
+            meta,
             items: Vec::new(),
             json,
         }
@@ -61,11 +72,20 @@ impl Report {
         self.meta.push((key.to_owned(), value.into()));
     }
 
-    /// Records the experiment scale as metadata and as the standard
-    /// trailing note line.
+    /// Records the experiment scale — preset name plus sizing — as
+    /// metadata and as the standard trailing note line.
     pub fn meta_scale(&mut self, scale: Scale) {
+        self.meta("scale", scale.name());
         self.meta("initial", scale.initial);
         self.meta("per_core_ops", scale.per_core_ops);
+    }
+
+    /// Records a non-preset scale name (`analytic` for model-only tables,
+    /// a crashfuzz grid name, ...) for binaries whose output does not
+    /// depend on `BBB_SCALE`. The parity gate requires every artifact to
+    /// declare *some* scale.
+    pub fn meta_scale_name(&mut self, name: &str) {
+        self.meta("scale", name);
     }
 
     /// Appends a table.
@@ -187,6 +207,38 @@ impl Report {
     }
 }
 
+/// The short hash of the git HEAD in the current directory, or `unknown`
+/// when git is unavailable (e.g. running from an exported tarball).
+fn git_head() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// The regenerating invocation: binary basename plus arguments.
+fn invocation() -> String {
+    let mut args = std::env::args();
+    let bin = args
+        .next()
+        .map(|a| {
+            PathBuf::from(a)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        })
+        .unwrap_or_default();
+    std::iter::once(bin)
+        .chain(args)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 /// Serializes a table as `{"title", "header", "rows"}` with all cells as
 /// strings (exactly what the ASCII form shows).
 #[must_use]
@@ -256,6 +308,33 @@ mod tests {
         r.note_scale(scale);
         assert!(r.to_json().to_string().contains(r#""initial":7"#));
         assert!(r.render_text().contains("scale: initial=7 per-core-ops=3"));
+    }
+
+    #[test]
+    fn json_reports_carry_provenance() {
+        let mut r = Report::with_json("demo", true);
+        r.meta_scale(Scale {
+            initial: 20_000,
+            per_core_ops: 300,
+        });
+        let doc = crate::Json::parse(&r.to_json().to_string()).unwrap();
+        let meta = doc.get("meta").unwrap();
+        assert!(meta.get("commit").unwrap().as_str().is_some());
+        assert!(meta.get("command").unwrap().as_str().is_some());
+        assert_eq!(meta.get("scale").unwrap().as_str(), Some("smoke"));
+    }
+
+    #[test]
+    fn text_reports_skip_provenance() {
+        let r = Report::with_json("demo", false);
+        assert!(r.to_json().to_string().contains(r#""meta":{}"#));
+    }
+
+    #[test]
+    fn scale_name_meta_for_analytic_reports() {
+        let mut r = Report::with_json("demo", true);
+        r.meta_scale_name("analytic");
+        assert!(r.to_json().to_string().contains(r#""scale":"analytic""#));
     }
 
     #[test]

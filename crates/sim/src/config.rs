@@ -110,14 +110,17 @@ impl Default for MemTiming {
     }
 }
 
-/// When the bbPB starts draining entries to NVMM (paper §III-F).
+/// When the bbPB drains entries to NVMM (paper §III-F).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DrainPolicy {
-    /// Drain only while occupancy ≥ `threshold_pct` percent of capacity
-    /// (the paper's policy; 75% is the evaluated default). Maximizes
-    /// coalescing while keeping full-buffer stalls rare.
+    /// Watermark draining (the paper's policy): when the buffer fills, a
+    /// burst drains least-recently-written entries until occupancy falls
+    /// back to `threshold_pct` percent of capacity (75% is the evaluated
+    /// default). Every entry stays coalescable until the buffer is
+    /// genuinely out of room, so the whole capacity acts as the
+    /// coalescing window.
     Threshold {
-        /// Occupancy percentage (0–100] at which draining starts.
+        /// Occupancy percentage (0–100] a drain burst empties down to.
         threshold_pct: u8,
     },
     /// Drain whenever the buffer is non-empty. An ablation point: loses
@@ -126,21 +129,29 @@ pub enum DrainPolicy {
 }
 
 impl DrainPolicy {
-    /// The paper's default: threshold draining at 75% occupancy.
+    /// The paper's default: a 75% drain threshold.
     #[must_use]
     pub const fn paper_default() -> Self {
         DrainPolicy::Threshold { threshold_pct: 75 }
     }
 
-    /// Number of occupied entries at which draining begins, for a buffer of
-    /// `capacity` entries. Always at least 1 so a non-empty buffer with a
-    /// tiny capacity still drains.
+    /// Number of occupied entries (resident plus drains in flight) at
+    /// which a drain burst begins, for a buffer of `capacity` entries.
     #[must_use]
-    pub fn start_level(&self, capacity: usize) -> usize {
+    pub fn trigger_level(&self, capacity: usize) -> usize {
         match *self {
             DrainPolicy::Eager => 1,
+            DrainPolicy::Threshold { .. } => capacity.max(1),
+        }
+    }
+
+    /// Number of *resident* entries a drain burst stops at.
+    #[must_use]
+    pub fn stop_level(&self, capacity: usize) -> usize {
+        match *self {
+            DrainPolicy::Eager => 0,
             DrainPolicy::Threshold { threshold_pct } => {
-                ((capacity * usize::from(threshold_pct)).div_ceil(100)).max(1)
+                (capacity * usize::from(threshold_pct)) / 100
             }
         }
     }
@@ -344,15 +355,14 @@ mod tests {
     #[test]
     fn drain_threshold_levels() {
         let p = DrainPolicy::paper_default();
-        assert_eq!(p.start_level(32), 24); // 75% of 32
-        assert_eq!(p.start_level(4), 3);
-        assert_eq!(p.start_level(1), 1);
-        assert_eq!(DrainPolicy::Eager.start_level(32), 1);
-        // Threshold of 1% on a tiny buffer still drains.
-        assert_eq!(
-            DrainPolicy::Threshold { threshold_pct: 1 }.start_level(4),
-            1
-        );
+        assert_eq!(p.trigger_level(32), 32); // bursts begin when full
+        assert_eq!(p.stop_level(32), 24); // ... and empty down to 75%
+        assert_eq!(p.stop_level(4), 3);
+        assert_eq!(p.stop_level(1), 0); // a 1-entry buffer drains fully
+        assert_eq!(DrainPolicy::Eager.trigger_level(32), 1);
+        assert_eq!(DrainPolicy::Eager.stop_level(32), 0);
+        // A 1% threshold on a tiny buffer drains (almost) everything.
+        assert_eq!(DrainPolicy::Threshold { threshold_pct: 1 }.stop_level(4), 0);
     }
 
     #[test]
