@@ -46,7 +46,10 @@ fn main() {
         }
     }
     let mut report = Report::new("table9");
-    report.meta_scale_name("analytic");
+    // Paper scale: these tables are the paper's own analytic arithmetic at
+    // the paper's platform parameters, so the committed artifacts carry
+    // (and the parity gate enforces) paper-scale provenance.
+    report.meta_scale_name("paper");
     report.table(t);
     report.note("paper: mobile eADR 2.9e3 / 30 mm^3 (77x / 3.6x core area), BBB 4.1 / 0.04 mm^3");
     report.note("       server eADR 34e3 / 300 mm^3 (404x / 18.7x), BBB 21.6 / 0.21 mm^3");

@@ -13,9 +13,11 @@
 //!   scale at which the band applies. Bands are checked only when the
 //!   artifact's recorded scale matches the band's.
 //!
-//! Tolerances encode two different claims. The analytic tables
-//! (VII–X) reproduce the paper's arithmetic, so their bands are tight
-//! (rounding width). The simulation results (Fig. 7/8, §V-C) come from
+//! Tolerances encode two different claims. The paper-scale tables
+//! (VII–X) reproduce the paper's arithmetic at the paper's platform
+//! parameters — their committed artifacts must record `meta.scale ==
+//! "paper"` and their bands are tight (rounding width). The simulation
+//! results (Fig. 7/8, §V-C) come from
 //! our own simulator; their bands are anchored on the paper's numbers
 //! with enough width for the documented modeling deviations — wide
 //! enough to pass an honest reproduction, tight enough that the drifts
@@ -138,22 +140,22 @@ pub fn policies() -> &'static [ArtifactPolicy] {
         },
         ArtifactPolicy {
             name: "table7",
-            scale: "analytic",
+            scale: "paper",
             regen: "cargo run --release -p bbb-bench --bin table7 -- --json",
         },
         ArtifactPolicy {
             name: "table8",
-            scale: "analytic",
+            scale: "paper",
             regen: "cargo run --release -p bbb-bench --bin table8 -- --json",
         },
         ArtifactPolicy {
             name: "table9",
-            scale: "analytic",
+            scale: "paper",
             regen: "cargo run --release -p bbb-bench --bin table9 -- --json",
         },
         ArtifactPolicy {
             name: "table10",
-            scale: "analytic",
+            scale: "paper",
             regen: "cargo run --release -p bbb-bench --bin table10 -- --json",
         },
         ArtifactPolicy {
@@ -293,7 +295,7 @@ pub fn bands() -> &'static [CellBand] {
         band("spectrum", 0, "geomean", "BBB (32)", 1.01, 0.02, "default"),
         // ---- Table VII: draining energy (paper: mobile 46.5 mJ vs
         // 145 µJ; server 550 mJ vs 775 µJ). Analytic, so rounding-tight.
-        band("table7", 1, "Mobile Class", "eADR", 46.5, 0.5, "analytic"),
+        band("table7", 1, "Mobile Class", "eADR", 46.5, 0.5, "paper"),
         band(
             "table7",
             1,
@@ -301,9 +303,9 @@ pub fn bands() -> &'static [CellBand] {
             "BBB (32-entry bbPB)",
             145.0,
             2.0,
-            "analytic",
+            "paper",
         ),
-        band("table7", 1, "Server Class", "eADR", 550.0, 5.0, "analytic"),
+        band("table7", 1, "Server Class", "eADR", 550.0, 5.0, "paper"),
         band(
             "table7",
             1,
@@ -311,19 +313,11 @@ pub fn bands() -> &'static [CellBand] {
             "BBB (32-entry bbPB)",
             775.0,
             5.0,
-            "analytic",
+            "paper",
         ),
         // ---- Table VIII: draining time (mobile cells render in µs,
         // server eADR in ms; paper: 0.8 ms / 2.6 µs, 1.8 ms / 2.4 µs).
-        band(
-            "table8",
-            0,
-            "Mobile Class",
-            "eADR",
-            800.0,
-            120.0,
-            "analytic",
-        ),
+        band("table8", 0, "Mobile Class", "eADR", 800.0, 120.0, "paper"),
         band(
             "table8",
             0,
@@ -331,9 +325,9 @@ pub fn bands() -> &'static [CellBand] {
             "BBB (32-entry bbPB)",
             2.6,
             0.2,
-            "analytic",
+            "paper",
         ),
-        band("table8", 0, "Server Class", "eADR", 1.8, 0.1, "analytic"),
+        band("table8", 0, "Server Class", "eADR", 1.8, 0.1, "paper"),
         band(
             "table8",
             0,
@@ -341,7 +335,7 @@ pub fn bands() -> &'static [CellBand] {
             "BBB (32-entry bbPB)",
             2.4,
             0.2,
-            "analytic",
+            "paper",
         ),
         // ---- Table IX: battery volume. Row lookup matches the first row
         // per system, which is the eADR scheme — the paper's headline
@@ -353,7 +347,7 @@ pub fn bands() -> &'static [CellBand] {
             "SuperCap (mm^3)",
             2900.0,
             100.0,
-            "analytic",
+            "paper",
         ),
         band(
             "table9",
@@ -362,7 +356,7 @@ pub fn bands() -> &'static [CellBand] {
             "SuperCap (mm^3)",
             34000.0,
             1000.0,
-            "analytic",
+            "paper",
         ),
         // ---- Table X: battery volume vs entries, linear from the 32-entry
         // anchors (4.1 / 21.9 mm³); endpoints of the SuperCap rows.
@@ -373,7 +367,7 @@ pub fn bands() -> &'static [CellBand] {
             "1",
             0.13,
             0.01,
-            "analytic",
+            "paper",
         ),
         band(
             "table10",
@@ -382,7 +376,7 @@ pub fn bands() -> &'static [CellBand] {
             "1024",
             131.2,
             1.0,
-            "analytic",
+            "paper",
         ),
         band(
             "table10",
@@ -391,7 +385,7 @@ pub fn bands() -> &'static [CellBand] {
             "1",
             0.68,
             0.05,
-            "analytic",
+            "paper",
         ),
         band(
             "table10",
@@ -400,7 +394,7 @@ pub fn bands() -> &'static [CellBand] {
             "1024",
             700.0,
             2.0,
-            "analytic",
+            "paper",
         ),
     ];
     B

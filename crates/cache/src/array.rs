@@ -9,6 +9,13 @@ use bbb_sim::BlockAddr;
 /// A set-associative array of `T` payloads indexed by [`BlockAddr`], with
 /// true-LRU replacement within each set.
 ///
+/// Storage is struct-of-arrays: tags, LRU stamps, and payloads live in
+/// separate dense lanes indexed by `set * ways + way`. A tag probe — the
+/// operation every cache access starts with — scans only the `tags` lane,
+/// so an 8-way set costs one 64-byte cache line instead of striding over
+/// interleaved (tag, stamp, payload) records whose payloads (64-byte data
+/// blocks) push each way onto its own line.
+///
 /// # Examples
 ///
 /// ```
@@ -24,18 +31,29 @@ use bbb_sim::BlockAddr;
 pub struct SetAssocArray<T> {
     sets: usize,
     ways: usize,
-    /// `sets * ways` slots; `None` = invalid way.
-    slots: Vec<Option<Slot<T>>>,
+    /// Tag lane: the resident block's index, or [`INVALID_TAG`] for an
+    /// invalid way. Invariant: `tags[i] == INVALID_TAG` iff
+    /// `payloads[i].is_none()`.
+    tags: Vec<u64>,
+    /// LRU stamp lane (monotonic use ticks; larger = more recent).
+    last_use: Vec<u64>,
+    /// Payload lane; `None` = invalid way.
+    payloads: Vec<Option<T>>,
     /// Monotonic use stamp for LRU.
     tick: u64,
+    /// Occupancy bitset, one bit per slot (bit `i % 64` of word `i / 64`).
+    /// Whole-array walks ([`SetAssocArray::iter`]) scan these words and
+    /// emit set bits in ascending slot order — no per-walk sort, and a
+    /// mostly-empty array costs O(words + valid) instead of striding over
+    /// every way.
+    occupied_words: Vec<u64>,
+    /// Number of set bits in `occupied_words` (valid lines).
+    valid: usize,
 }
 
-#[derive(Debug, Clone)]
-struct Slot<T> {
-    block: BlockAddr,
-    last_use: u64,
-    payload: T,
-}
+/// Tag sentinel for an invalid way. Real block indices never reach it:
+/// the address map bounds block indices far below `u64::MAX`.
+const INVALID_TAG: u64 = u64::MAX;
 
 impl<T> SetAssocArray<T> {
     /// Creates an array of `sets` sets × `ways` ways.
@@ -48,14 +66,32 @@ impl<T> SetAssocArray<T> {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "geometry must be non-zero");
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        let mut slots = Vec::with_capacity(sets * ways);
-        slots.resize_with(sets * ways, || None);
+        let mut payloads = Vec::with_capacity(sets * ways);
+        payloads.resize_with(sets * ways, || None);
         Self {
             sets,
             ways,
-            slots,
+            tags: vec![INVALID_TAG; sets * ways],
+            last_use: vec![0; sets * ways],
+            payloads,
             tick: 0,
+            occupied_words: vec![0; (sets * ways).div_ceil(64)],
+            valid: 0,
         }
+    }
+
+    /// Marks slot `i` valid in the occupancy bitset.
+    fn mark_occupied(&mut self, i: usize) {
+        debug_assert_eq!(self.occupied_words[i / 64] >> (i % 64) & 1, 0);
+        self.occupied_words[i / 64] |= 1u64 << (i % 64);
+        self.valid += 1;
+    }
+
+    /// Marks slot `i` invalid in the occupancy bitset.
+    fn mark_vacant(&mut self, i: usize) {
+        debug_assert_eq!(self.occupied_words[i / 64] >> (i % 64) & 1, 1);
+        self.occupied_words[i / 64] &= !(1u64 << (i % 64));
+        self.valid -= 1;
     }
 
     /// Number of sets.
@@ -74,54 +110,46 @@ impl<T> SetAssocArray<T> {
         (block.index() as usize) & (self.sets - 1)
     }
 
-    fn set_range(&self, block: BlockAddr) -> std::ops::Range<usize> {
-        let s = self.set_of(block);
-        s * self.ways..(s + 1) * self.ways
-    }
-
     fn bump(&mut self) -> u64 {
         self.tick += 1;
         self.tick
     }
 
+    /// The slot index holding `block`, scanning only the tag lane.
+    #[inline]
+    fn find(&self, block: BlockAddr) -> Option<usize> {
+        let base = self.set_of(block) * self.ways;
+        let tag = block.index();
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|w| base + w)
+    }
+
     /// Looks up a block, refreshing its LRU position on hit.
     pub fn get_touch(&mut self, block: BlockAddr) -> Option<&mut T> {
         let tick = self.bump();
-        let range = self.set_range(block);
-        self.slots[range]
-            .iter_mut()
-            .flatten()
-            .find(|s| s.block == block)
-            .map(|s| {
-                s.last_use = tick;
-                &mut s.payload
-            })
+        let i = self.find(block)?;
+        self.last_use[i] = tick;
+        self.payloads[i].as_mut()
     }
 
     /// Looks up a block without changing LRU state.
     #[must_use]
     pub fn get(&self, block: BlockAddr) -> Option<&T> {
-        self.slots[self.set_range(block)]
-            .iter()
-            .flatten()
-            .find(|s| s.block == block)
-            .map(|s| &s.payload)
+        self.find(block).and_then(|i| self.payloads[i].as_ref())
     }
 
     /// Mutable lookup without changing LRU state.
     pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut T> {
-        let range = self.set_range(block);
-        self.slots[range]
-            .iter_mut()
-            .flatten()
-            .find(|s| s.block == block)
-            .map(|s| &mut s.payload)
+        let i = self.find(block)?;
+        self.payloads[i].as_mut()
     }
 
     /// True if the block is present.
     #[must_use]
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.get(block).is_some()
+        self.find(block).is_some()
     }
 
     /// Inserts a payload for `block`, evicting the set's LRU entry if the
@@ -133,46 +161,43 @@ impl<T> SetAssocArray<T> {
     /// place via [`SetAssocArray::get_touch`] instead of reinserting.
     pub fn insert(&mut self, block: BlockAddr, payload: T) -> Option<(BlockAddr, T)> {
         assert!(!self.contains(block), "duplicate insert of {block}");
+        debug_assert_ne!(block.index(), INVALID_TAG, "block index hits sentinel");
         let tick = self.bump();
-        let range = self.set_range(block);
+        let base = self.set_of(block) * self.ways;
 
-        // Prefer an invalid way.
-        if let Some(slot) = self.slots[range.clone()].iter_mut().find(|s| s.is_none()) {
-            *slot = Some(Slot {
-                block,
-                last_use: tick,
-                payload,
-            });
+        // Prefer an invalid way (lowest way index first, as before).
+        if let Some(w) = self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == INVALID_TAG)
+        {
+            let i = base + w;
+            self.tags[i] = block.index();
+            self.last_use[i] = tick;
+            self.payloads[i] = Some(payload);
+            self.mark_occupied(i);
             return None;
         }
 
-        // Evict the LRU way.
-        let victim_idx = self.slots[range]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.as_ref().map_or(u64::MAX, |s| s.last_use))
-            .map(|(i, _)| i)
+        // Evict the LRU way (first minimal stamp on ties, matching the
+        // old interleaved scan).
+        let victim = (base..base + self.ways)
+            .min_by_key(|&i| self.last_use[i])
             .expect("non-empty set");
-        let base = self.set_of(block) * self.ways;
-        let old = self.slots[base + victim_idx]
-            .replace(Slot {
-                block,
-                last_use: tick,
-                payload,
-            })
+        let old_block = BlockAddr::from_index(self.tags[victim]);
+        let old = self.payloads[victim]
+            .replace(payload)
             .expect("victim way was occupied");
-        Some((old.block, old.payload))
+        self.tags[victim] = block.index();
+        self.last_use[victim] = tick;
+        Some((old_block, old))
     }
 
     /// Removes a block, returning its payload.
     pub fn remove(&mut self, block: BlockAddr) -> Option<T> {
-        let range = self.set_range(block);
-        for slot in &mut self.slots[range] {
-            if slot.as_ref().is_some_and(|s| s.block == block) {
-                return slot.take().map(|s| s.payload);
-            }
-        }
-        None
+        let i = self.find(block)?;
+        self.tags[i] = INVALID_TAG;
+        self.mark_vacant(i);
+        self.payloads[i].take()
     }
 
     /// The block that would be evicted if `block` were inserted now
@@ -182,25 +207,48 @@ impl<T> SetAssocArray<T> {
         if self.contains(block) {
             return None;
         }
-        let set = &self.slots[self.set_range(block)];
-        if set.iter().any(|s| s.is_none()) {
+        let base = self.set_of(block) * self.ways;
+        let set = &self.tags[base..base + self.ways];
+        if set.contains(&INVALID_TAG) {
             return None;
         }
-        set.iter()
-            .flatten()
-            .min_by_key(|s| s.last_use)
-            .map(|s| s.block)
+        (base..base + self.ways)
+            .min_by_key(|&i| self.last_use[i])
+            .map(|i| BlockAddr::from_index(self.tags[i]))
     }
 
-    /// Iterates `(block, payload)` over all valid lines.
+    /// Iterates `(block, payload)` over all valid lines in slot order
+    /// (set-major, then way) — the same order the interleaved layout gave.
+    ///
+    /// The walk scans the occupancy bitset, whose set bits come out in
+    /// ascending slot order for free: no per-walk sort or allocation.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &T)> {
-        self.slots.iter().flatten().map(|s| (s.block, &s.payload))
+        self.occupied_words
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &word)| {
+                let mut word = word;
+                std::iter::from_fn(move || {
+                    if word == 0 {
+                        return None;
+                    }
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(w * 64 + bit)
+                })
+            })
+            .map(|i| {
+                let p = self.payloads[i]
+                    .as_ref()
+                    .expect("occupied slot has payload");
+                (BlockAddr::from_index(self.tags[i]), p)
+            })
     }
 
     /// Number of valid lines.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.iter().flatten().count()
+        self.valid
     }
 
     /// True if no line is valid.

@@ -66,6 +66,12 @@ pub struct CacheHierarchy {
     l2_lat: Cycle,
     noc: Cycle,
     counters: Counters,
+    /// Monotone mutation counter: bumped on every access that can change
+    /// cached *contents* — L1-miss reads, writes, flushes. L1 read hits
+    /// only refresh LRU stamps and are not counted. Coarse on purpose —
+    /// an unchanged version proves unchanged dirty contents; the converse
+    /// need not hold.
+    version: u64,
 }
 
 impl CacheHierarchy {
@@ -80,7 +86,15 @@ impl CacheHierarchy {
             l2_lat: cfg.l2.latency,
             noc: cfg.noc_hop,
             counters: Counters::default(),
+            version: 0,
         }
+    }
+
+    /// Monotone mutation counter: equal versions within one hierarchy's
+    /// lifetime prove no access touched the caches in between.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of cores (L1 caches).
@@ -117,6 +131,8 @@ impl CacheHierarchy {
     ) -> (AccessResult, [u8; BLOCK_BYTES]) {
         if let Some(line) = self.l1s[core].touch(block) {
             if line.state.readable() {
+                // L1 read hits refresh LRU stamps only — they cannot change
+                // any cached *contents*, so the mutation counter stays put.
                 self.counters.l1_hits.inc();
                 return (
                     AccessResult {
@@ -127,6 +143,7 @@ impl CacheHierarchy {
                 );
             }
         }
+        self.version += 1;
         self.counters.l1_misses.inc();
         let mut t = now + self.l1_lat + self.noc + self.l2_lat;
 
@@ -222,26 +239,29 @@ impl CacheHierarchy {
         hooks: &mut dyn CoherenceHooks,
     ) -> AccessResult {
         assert!(offset + bytes.len() <= BLOCK_BYTES, "store exceeds block");
+        self.version += 1;
+        // Fast path: the requester already owns the line — M outright, or E
+        // via the silent upgrade (the directory records us as owner either
+        // way). A single tag probe serves the whole store.
+        let fast = match self.l1s[core].touch(block) {
+            Some(line) if matches!(line.state, Mesi::M | Mesi::E) => {
+                line.state = Mesi::M;
+                line.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+                true
+            }
+            _ => false,
+        };
+        if fast {
+            self.counters.l1_hits.inc();
+            debug_assert_eq!(self.l2_owner(block), Some(core));
+            return AccessResult {
+                completion: now + self.l1_lat,
+                l1_hit: true,
+            };
+        }
         let state = self.l1s[core].state_of(block);
         let result = match state {
-            Mesi::M => {
-                self.counters.l1_hits.inc();
-                self.l1s[core].touch(block);
-                AccessResult {
-                    completion: now + self.l1_lat,
-                    l1_hit: true,
-                }
-            }
-            Mesi::E => {
-                // Silent E->M upgrade; directory already records us as owner.
-                self.counters.l1_hits.inc();
-                debug_assert_eq!(self.l2_owner(block), Some(core));
-                self.l1s[core].touch(block).expect("line present").state = Mesi::M;
-                AccessResult {
-                    completion: now + self.l1_lat,
-                    l1_hit: true,
-                }
-            }
+            Mesi::M | Mesi::E => unreachable!("owned lines take the fast path"),
             Mesi::S => {
                 // Upgrade: invalidate the other sharers (Fig. 6(b)).
                 self.counters.l1_misses.inc();
@@ -352,6 +372,7 @@ impl CacheHierarchy {
         mem: &mut dyn MemoryPort,
     ) -> FlushResult {
         let _ = core; // the flush path is identical regardless of issuer
+        self.version += 1;
         self.counters.flushes.inc();
         let t = now + self.l1_lat + self.noc + self.l2_lat;
 

@@ -19,10 +19,11 @@
 //! cost an extra NVMM write the moment the next store re-allocates it,
 //! defeating the coalescing the lazy policy exists to protect.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use bbb_sim::{
-    BbpbConfig, BlockAddr, Counter, Cycle, MemoryPort, Stats, TraceEvent, TraceLog, BLOCK_BYTES,
+    BbpbConfig, BlockAddr, Counter, Cycle, FxHashMap, MemoryPort, Stats, TraceEvent, TraceLog,
+    BLOCK_BYTES,
 };
 
 /// Result of offering a persisting store to the bbPB.
@@ -41,6 +42,10 @@ pub struct AllocOutcome {
 #[derive(Debug, Clone)]
 struct Resident {
     data: [u8; BLOCK_BYTES],
+    /// Write sequence of this entry's live FIFO ticket: the `fifo` element
+    /// carrying this number is the entry's real drain position; any earlier
+    /// elements naming the same block are stale and skipped on pop.
+    seq: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -70,10 +75,17 @@ pub struct Bbpb {
     drain_trigger_level: usize,
     drain_stop_level: usize,
     drain_latency: Cycle,
-    resident: HashMap<BlockAddr, Resident>,
-    /// Resident entries in last-write order (front = least recently
-    /// written = next drain victim).
-    fifo: VecDeque<BlockAddr>,
+    resident: FxHashMap<BlockAddr, Resident>,
+    /// Drain-order tickets, oldest first. Each resident entry owns exactly
+    /// one *live* ticket — the one whose sequence matches its `Resident::seq`
+    /// — placed at its last-write position; a coalesce re-tickets the entry
+    /// at the back in O(1) and strands the old ticket, which
+    /// [`Bbpb::pop_oldest`] discards lazily. The live tickets read in queue
+    /// order are therefore exactly the old eager FIFO: front = least
+    /// recently written = next drain victim.
+    fifo: VecDeque<(BlockAddr, u64)>,
+    /// Next write-sequence ticket number.
+    next_seq: u64,
     in_flight: Vec<InFlight>,
     allocations: Counter,
     coalesces: Counter,
@@ -90,6 +102,10 @@ pub struct Bbpb {
     pub(crate) core_id: usize,
     /// Drain-event recorder for the persist-order checker.
     pub(crate) trace: TraceLog,
+    /// Monotone mutation counter: bumped whenever the crash drain set
+    /// (`resident`/`fifo`) changes, so an unchanged version proves an
+    /// unchanged drain set. In-flight bookkeeping does not bump it.
+    version: u64,
 }
 
 impl Bbpb {
@@ -101,8 +117,9 @@ impl Bbpb {
             drain_trigger_level: cfg.drain_policy.trigger_level(cfg.entries),
             drain_stop_level: cfg.drain_policy.stop_level(cfg.entries),
             drain_latency: cfg.drain_latency,
-            resident: HashMap::new(),
+            resident: FxHashMap::default(),
             fifo: VecDeque::new(),
+            next_seq: 0,
             in_flight: Vec::new(),
             allocations: Counter::new(),
             coalesces: Counter::new(),
@@ -115,7 +132,15 @@ impl Bbpb {
             occupancy_samples: Counter::new(),
             core_id: 0,
             trace: TraceLog::default(),
+            version: 0,
         }
+    }
+
+    /// Monotone mutation counter over the crash drain set: equal versions
+    /// within one buffer's lifetime prove identical resident contents.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Capacity in block entries.
@@ -153,10 +178,20 @@ impl Bbpb {
             .add((self.resident.len() + self.in_flight.len()) as u64);
         self.occupancy_samples.inc();
 
+        let at_back = self.fifo.back().is_some_and(|&(b, _)| b == block);
+        let next_seq = self.next_seq;
         if let Some(entry) = self.resident.get_mut(&block) {
             entry.data = data;
+            if !at_back {
+                entry.seq = next_seq;
+            }
+            self.version += 1;
             self.coalesces.inc();
-            self.touch(block);
+            if !at_back {
+                self.next_seq += 1;
+                self.fifo.push_back((block, next_seq));
+                self.compact_if_bloated();
+            }
             self.maybe_drain(now, mem);
             return AllocOutcome {
                 done: now,
@@ -177,8 +212,8 @@ impl Bbpb {
         if rejected {
             self.rejections.inc();
         }
-        self.resident.insert(block, Resident { data });
-        self.fifo.push_back(block);
+        self.insert_fresh(block, data);
+        self.version += 1;
         self.allocations.inc();
         self.maybe_drain(t, mem);
         AllocOutcome {
@@ -188,13 +223,52 @@ impl Bbpb {
         }
     }
 
-    /// Moves `block` to the most-recently-written end of the drain order.
-    fn touch(&mut self, block: BlockAddr) {
-        if self.fifo.back() == Some(&block) {
+    /// Installs a fresh resident entry at the most-recently-written end.
+    fn insert_fresh(&mut self, block: BlockAddr, data: [u8; BLOCK_BYTES]) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.resident.insert(block, Resident { data, seq });
+        self.fifo.push_back((block, seq));
+        self.compact_if_bloated();
+    }
+
+    /// Moves `block` to the most-recently-written end of the drain order by
+    /// issuing it a fresh back-of-queue ticket; its previous ticket goes
+    /// stale in place instead of being searched out and removed.
+    fn retick(&mut self, block: BlockAddr) {
+        if self.fifo.back().is_some_and(|&(b, _)| b == block) {
             return;
         }
-        self.fifo.retain(|b| *b != block);
-        self.fifo.push_back(block);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.resident
+            .get_mut(&block)
+            .expect("retick of non-resident block")
+            .seq = seq;
+        self.fifo.push_back((block, seq));
+        self.compact_if_bloated();
+    }
+
+    /// Sweeps stale tickets once they outnumber the live ones: live tickets
+    /// never exceed `capacity`, so compacting at twice that keeps each sweep
+    /// at least half-effective and the amortized cost per push constant.
+    fn compact_if_bloated(&mut self) {
+        if self.fifo.len() > 2 * self.capacity.max(8) {
+            let resident = &self.resident;
+            self.fifo
+                .retain(|&(b, s)| resident.get(&b).is_some_and(|r| r.seq == s));
+        }
+    }
+
+    /// Pops the least-recently-written resident block, discarding any stale
+    /// tickets ahead of it. `None` when nothing is resident.
+    fn pop_oldest(&mut self) -> Option<BlockAddr> {
+        while let Some((b, s)) = self.fifo.pop_front() {
+            if self.resident.get(&b).is_some_and(|r| r.seq == s) {
+                return Some(b);
+            }
+        }
+        None
     }
 
     /// Removes `block`'s resident entry for migration to another core's
@@ -202,7 +276,7 @@ impl Bbpb {
     /// and the new core becomes responsible for it).
     pub fn take_for_move(&mut self, block: BlockAddr) -> Option<[u8; BLOCK_BYTES]> {
         let entry = self.resident.remove(&block)?;
-        self.fifo.retain(|b| *b != block);
+        self.version += 1;
         self.moves_out.inc();
         Some(entry.data)
     }
@@ -218,10 +292,11 @@ impl Bbpb {
         mem: &mut dyn MemoryPort,
     ) {
         self.advance(now);
-        if let Some(entry) = self.resident.get_mut(&block) {
-            entry.data = data;
+        if self.resident.contains_key(&block) {
+            self.resident.get_mut(&block).expect("just probed").data = data;
+            self.version += 1;
             self.coalesces.inc();
-            self.touch(block);
+            self.retick(block);
             return;
         }
         while self.resident.len() + self.in_flight.len() >= self.capacity {
@@ -232,8 +307,8 @@ impl Bbpb {
             }
             self.advance_in_flight_forced(now);
         }
-        self.resident.insert(block, Resident { data });
-        self.fifo.push_back(block);
+        self.insert_fresh(block, data);
+        self.version += 1;
         self.moves_in.inc();
     }
 
@@ -244,7 +319,7 @@ impl Bbpb {
         let Some(entry) = self.resident.remove(&block) else {
             return false;
         };
-        self.fifo.retain(|b| *b != block);
+        self.version += 1;
         self.trace.push(TraceEvent::PbDrain {
             core: self.core_id,
             block,
@@ -288,7 +363,10 @@ impl Bbpb {
     pub fn drain_set(&self) -> Vec<(BlockAddr, [u8; BLOCK_BYTES])> {
         self.fifo
             .iter()
-            .map(|b| (*b, self.resident[b].data))
+            .filter_map(|&(b, s)| {
+                let r = self.resident.get(&b)?;
+                (r.seq == s).then_some((b, r.data))
+            })
             .collect()
     }
 
@@ -296,7 +374,10 @@ impl Bbpb {
     /// battery disconnected, where the "persist" buffer turns out to be
     /// plain volatile SRAM. Returns the entries lost.
     pub fn crash_discard(&mut self) -> u64 {
-        let lost = self.fifo.len() as u64;
+        let lost = self.resident.len() as u64;
+        if lost > 0 {
+            self.version += 1;
+        }
         self.resident.clear();
         self.fifo.clear();
         self.in_flight.clear();
@@ -312,11 +393,14 @@ impl Bbpb {
     /// Drains everything now (flush-on-fail at a crash). Returns the number
     /// of blocks written.
     pub fn crash_drain(&mut self, now: Cycle, mem: &mut dyn MemoryPort) -> u64 {
-        let blocks: Vec<BlockAddr> = self.fifo.iter().copied().collect();
-        let n = blocks.len() as u64;
-        for b in blocks {
-            let entry = self.resident.remove(&b).expect("fifo tracks residents");
+        let mut n = 0;
+        while let Some(b) = self.pop_oldest() {
+            let entry = self.resident.remove(&b).expect("live ticket is resident");
             mem.write_block(now, b, entry.data);
+            n += 1;
+        }
+        if n > 0 {
+            self.version += 1;
         }
         self.fifo.clear();
         self.in_flight.clear();
@@ -355,10 +439,14 @@ impl Bbpb {
     /// Issues a drain of the oldest resident entry. Returns false when
     /// nothing is resident.
     fn drain_oldest(&mut self, now: Cycle, mem: &mut dyn MemoryPort) -> bool {
-        let Some(block) = self.fifo.pop_front() else {
+        let Some(block) = self.pop_oldest() else {
             return false;
         };
-        let entry = self.resident.remove(&block).expect("fifo tracks residents");
+        self.version += 1;
+        let entry = self
+            .resident
+            .remove(&block)
+            .expect("live ticket is resident");
         self.trace.push(TraceEvent::PbDrain {
             core: self.core_id,
             block,

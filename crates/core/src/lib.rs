@@ -48,7 +48,11 @@ pub mod procside;
 pub mod system;
 pub mod workload;
 
-pub use bbb_mem::PAGE_BYTES;
+// Re-exported so downstream crates can implement [`Workload`] (whose
+// methods take `Op` batches and the architectural `ByteStore`) without
+// depending on the component crates directly.
+pub use bbb_cpu::Op;
+pub use bbb_mem::{ByteStore, NvmImage, PAGE_BYTES};
 pub use bbpb::{AllocOutcome, Bbpb};
 pub use crash::CrashCost;
 pub use memories::Memories;

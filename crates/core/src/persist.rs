@@ -13,11 +13,10 @@
 //! block in FIFO order (its entries cannot migrate without breaking store
 //! order), and never suppresses writebacks.
 
-use std::collections::HashMap;
-
 use bbb_cache::{CoherenceHooks, WritebackDecision};
 use bbb_sim::{
-    BlockAddr, Counter, Cycle, MemoryPort, SimConfig, Stats, TraceEvent, TraceLog, BLOCK_BYTES,
+    BlockAddr, Counter, Cycle, FxHashMap, MemoryPort, SimConfig, Stats, TraceEvent, TraceLog,
+    BLOCK_BYTES,
 };
 
 use crate::bbpb::{AllocOutcome, Bbpb};
@@ -35,7 +34,7 @@ pub struct PersistState {
     /// [`PersistState::holder_of`]. Entries go stale when a buffer drains
     /// on its own (threshold drains, migrations made through `bbpb_mut`),
     /// so a hit is always validated against the buffer before use.
-    holder_index: HashMap<BlockAddr, usize>,
+    holder_index: FxHashMap<BlockAddr, usize>,
     entry_moves: Counter,
     downgrades_kept: Counter,
     /// Recorder for coherence-driven persistence events (entry moves,
@@ -80,7 +79,7 @@ impl PersistState {
             bbpbs,
             procpbs,
             suppress_writebacks: cfg.suppress_persistent_writebacks,
-            holder_index: HashMap::new(),
+            holder_index: FxHashMap::default(),
             entry_moves: Counter::new(),
             downgrades_kept: Counter::new(),
             trace: TraceLog::default(),
@@ -288,6 +287,17 @@ impl PersistState {
     pub fn forced_drains(&self) -> u64 {
         let mem: u64 = self.bbpbs.iter().map(Bbpb::forced_drain_count).sum();
         let proc: u64 = self.procpbs.iter().map(ProcSidePb::drain_count).sum();
+        mem + proc
+    }
+
+    /// Sum of every owned persist buffer's monotone mutation counter.
+    /// Buffers only exist for the buffered modes, so this covers whichever
+    /// organization is active; both counters are monotone, so an unchanged
+    /// sum proves every buffer individually unchanged.
+    #[must_use]
+    pub fn buffers_version(&self) -> u64 {
+        let mem: u64 = self.bbpbs.iter().map(Bbpb::version).sum();
+        let proc: u64 = self.procpbs.iter().map(ProcSidePb::version).sum();
         mem + proc
     }
 

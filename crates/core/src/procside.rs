@@ -66,6 +66,9 @@ pub struct ProcSidePb {
     pub(crate) core_id: usize,
     /// Drain-event recorder for the persist-order checker.
     pub(crate) trace: TraceLog,
+    /// Monotone mutation counter: bumped whenever `entries` changes, so an
+    /// unchanged version proves an unchanged crash drain set.
+    version: u64,
 }
 
 impl ProcSidePb {
@@ -86,7 +89,15 @@ impl ProcSidePb {
             drains: Counter::new(),
             core_id: 0,
             trace: TraceLog::default(),
+            version: 0,
         }
+    }
+
+    /// Monotone mutation counter over the buffered stores: equal versions
+    /// within one buffer's lifetime prove identical contents.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Entries occupied at `now`.
@@ -113,6 +124,7 @@ impl ProcSidePb {
         if let Some(last) = self.entries.back_mut() {
             if last.block == block && last.offset == offset && last.len == bytes.len() {
                 last.bytes[..bytes.len()].copy_from_slice(bytes);
+                self.version += 1;
                 self.coalesces.inc();
                 self.maybe_drain(now, mem);
                 return AllocOutcome {
@@ -142,6 +154,7 @@ impl ProcSidePb {
             len: bytes.len(),
             bytes: payload,
         });
+        self.version += 1;
         self.allocations.inc();
         self.maybe_drain(t, mem);
         AllocOutcome {
@@ -181,6 +194,9 @@ impl ProcSidePb {
     /// buffer losing power — the BEP baseline). Returns entries lost.
     pub fn crash_discard(&mut self) -> u64 {
         let lost = self.entries.len() as u64;
+        if lost > 0 {
+            self.version += 1;
+        }
         self.entries.clear();
         self.in_flight.clear();
         lost
@@ -253,6 +269,7 @@ impl ProcSidePb {
         let Some(e) = self.entries.pop_front() else {
             return false;
         };
+        self.version += 1;
         self.trace.push(TraceEvent::PbDrain {
             core: self.core_id,
             block: e.block,

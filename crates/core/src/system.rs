@@ -24,7 +24,8 @@ use bbb_cache::CacheHierarchy;
 use bbb_cpu::{CoreState, Op, SbEntry};
 use bbb_mem::{ByteStore, NvmImage};
 use bbb_sim::{
-    merge_logs, AddressMap, BlockAddr, Cycle, MemoryPort, SimConfig, Stats, TraceEvent, TraceLog,
+    merge_logs, AddressMap, BlockAddr, Cycle, EventKind, EventQueue, MemoryPort, SchedProfile,
+    SimConfig, Stats, TraceEvent, TraceLog,
 };
 
 use crate::crash::CrashCost;
@@ -95,6 +96,12 @@ pub struct RunCursor {
     queues: Vec<VecDeque<Op>>,
     active: Vec<bool>,
     ops: u64,
+    /// Pending per-core completion events: at most one `(ready_at, core)`
+    /// entry per active core. Seeded lazily on the first
+    /// [`System::run_until`] call; stale entries (a core whose clock was
+    /// advanced between increments, e.g. by a crash-test driver) are
+    /// detected on pop and re-pushed at the current clock.
+    events: EventQueue,
 }
 
 impl RunCursor {
@@ -105,6 +112,7 @@ impl RunCursor {
             queues: vec![VecDeque::new(); cores],
             active: vec![true; cores],
             ops: 0,
+            events: EventQueue::new(),
         }
     }
 
@@ -156,6 +164,9 @@ pub struct System {
     /// in `persist` and the NVMM controller; [`System::take_events`]
     /// merges them all.
     trace: TraceLog,
+    /// Per-kind event counts and simulated-cycle attribution (see
+    /// [`EventKind`]); exported under `sched.*` by [`System::stats`].
+    profile: SchedProfile,
     /// Ops committed since the last periodic debug audit.
     audit_countdown: u32,
 }
@@ -209,6 +220,7 @@ impl System {
             arch: ByteStore::new(),
             now_max: 0,
             trace: TraceLog::default(),
+            profile: SchedProfile::default(),
             audit_countdown: 0,
         })
     }
@@ -372,6 +384,12 @@ impl System {
     /// afterwards — a crash injected right after it returns sees the
     /// machine mid-flight, which is the point.
     ///
+    /// Scheduling is event-driven: the cursor carries a min-heap of
+    /// per-core completion events and each iteration pops the earliest
+    /// `(cycle, core)` pair — O(log cores) instead of the O(cores) scan
+    /// this replaces, with identical core choice (earliest clock, lowest
+    /// index on ties) and therefore identical observable behavior.
+    ///
     /// # Panics
     ///
     /// Panics if the cursor was built for a different core count.
@@ -381,36 +399,120 @@ impl System {
         cursor: &mut RunCursor,
         stop: StopAt,
     ) -> RunSummary {
+        self.run_inner(workload, cursor, stop, None)
+    }
+
+    /// Runs the workload to completion while recording, after each
+    /// committed op, the cycle at which the monotone [`EventProbe`]
+    /// counters first changed. Equivalent to stepping one op at a time
+    /// with [`System::run_until`] and sampling [`System::probe_events`]
+    /// between steps — the crash-point planner's reference pass — but
+    /// without a scheduler entry/exit and heap re-seed per op.
+    pub fn run_probed(
+        &mut self,
+        workload: &mut dyn Workload,
+        cursor: &mut RunCursor,
+        event_cycles: &mut Vec<Cycle>,
+    ) -> RunSummary {
+        self.run_inner(workload, cursor, StopAt::End, Some(event_cycles))
+    }
+
+    fn run_inner(
+        &mut self,
+        workload: &mut dyn Workload,
+        cursor: &mut RunCursor,
+        stop: StopAt,
+        mut probe: Option<&mut Vec<Cycle>>,
+    ) -> RunSummary {
+        let mut last = if probe.is_some() {
+            self.probe_events()
+        } else {
+            EventProbe::default()
+        };
         let n = self.cores.len();
         assert_eq!(cursor.queues.len(), n, "cursor built for another machine");
-        loop {
+        // Seed one completion event per active core on the cursor's first
+        // use. The invariant from here on: exactly one queued event per
+        // active core (stepping pops it and pushes the successor).
+        if cursor.events.is_empty() {
+            for c in 0..n {
+                if cursor.active[c] {
+                    cursor.events.push(self.cores[c].ready_at, c);
+                }
+            }
+        }
+        'sched: loop {
             match stop {
                 StopAt::Ops(budget) if cursor.ops >= budget => break,
                 StopAt::Cycle(at) if self.now_max >= at => break,
                 _ => {}
             }
-            // Pick the active core with the smallest local clock.
-            let Some(core) = (0..n)
-                .filter(|&c| cursor.active[c])
-                .min_by_key(|&c| self.cores[c].ready_at)
-            else {
+            let Some((at, core)) = cursor.events.pop() else {
                 break;
             };
-            if cursor.queues[core].is_empty() {
-                match workload.next_batch(core, &mut self.arch) {
-                    Some(batch) => cursor.queues[core].extend(batch),
-                    None => {
-                        cursor.active[core] = false;
-                        continue;
+            if !cursor.active[core] {
+                continue;
+            }
+            if at != self.cores[core].ready_at {
+                // Stale: the core's clock moved between run_until calls
+                // (run_single_core, drain_all_store_buffers, …).
+                // Reschedule at the current clock.
+                cursor.events.push(self.cores[core].ready_at, core);
+                continue;
+            }
+            // Step this core inline while it stays the globally earliest
+            // event: re-pushing and immediately re-popping the same core
+            // for back-to-back ops would be pure heap churn, and comparing
+            // `(ready_at, core)` against the heap root reproduces the pop
+            // order (cycle, then lowest core index) exactly.
+            loop {
+                if cursor.queues[core].is_empty() {
+                    match workload.next_batch(core, &mut self.arch) {
+                        Some(batch) => cursor.queues[core].extend(batch),
+                        None => {
+                            cursor.active[core] = false;
+                            continue 'sched; // stream ended: drop the core's event
+                        }
+                    }
+                    if cursor.queues[core].is_empty() {
+                        cursor.events.push(self.cores[core].ready_at, core);
+                        continue 'sched;
                     }
                 }
-                if cursor.queues[core].is_empty() {
-                    continue;
+                let op = cursor.queues[core].pop_front().expect("non-empty queue");
+                self.step_op(core, &op);
+                cursor.ops += 1;
+                if let Some(sink) = probe.as_deref_mut() {
+                    let p = self.probe_events();
+                    if p != last {
+                        sink.push(self.now_max);
+                        last = p;
+                    }
+                }
+                // The stop check runs between ops exactly as it would at
+                // the top of the scheduler loop; on a stop the core's next
+                // event is queued, restoring the one-event-per-active-core
+                // invariant.
+                let stopped = match stop {
+                    StopAt::Ops(budget) => cursor.ops >= budget,
+                    StopAt::Cycle(at) => self.now_max >= at,
+                    _ => false,
+                };
+                if stopped {
+                    cursor.events.push(self.cores[core].ready_at, core);
+                    break 'sched;
+                }
+                match cursor.events.peek() {
+                    // Another core's event is due first (or ties with a
+                    // lower index): yield to it.
+                    Some(next) if next < (self.cores[core].ready_at, core) => {
+                        cursor.events.push(self.cores[core].ready_at, core);
+                        continue 'sched;
+                    }
+                    // Still the earliest (or the only active core).
+                    _ => {}
                 }
             }
-            let op = cursor.queues[core].pop_front().expect("non-empty queue");
-            self.step_op(core, &op);
-            cursor.ops += 1;
         }
         RunSummary {
             cycles: self.now_max,
@@ -427,13 +529,13 @@ impl System {
     pub fn step_op(&mut self, core: usize, op: &Op) {
         let now = self.cores[core].ready_at;
         self.pump_sb(core, now);
-        let end = match *op {
-            Op::Compute { cycles } => now + Cycle::from(cycles),
+        let (end, kind) = match *op {
+            Op::Compute { cycles } => (now + Cycle::from(cycles), EventKind::Pipeline),
             Op::Load { addr, .. } => {
                 let block = BlockAddr::containing(addr);
-                let done = if self.cores[core].sb.holds_block(block) {
+                let (done, kind) = if self.cores[core].sb.holds_block(block) {
                     // Store-to-load forwarding from the SB.
-                    now + self.cfg.l1d.latency
+                    (now + self.cfg.l1d.latency, EventKind::Pipeline)
                 } else {
                     let (res, _) = self.hierarchy.read(
                         now,
@@ -442,14 +544,19 @@ impl System {
                         &mut self.memories,
                         &mut self.persist,
                     );
-                    res.completion
+                    let kind = if res.l1_hit {
+                        EventKind::Pipeline
+                    } else {
+                        EventKind::Nvmm
+                    };
+                    (res.completion, kind)
                 };
                 self.trace.push(TraceEvent::LoadCommit {
                     core,
                     block,
                     cycle: done,
                 });
-                done
+                (done, kind)
             }
             Op::Store { addr, size, bytes } => {
                 let block = BlockAddr::containing(addr);
@@ -495,7 +602,12 @@ impl System {
                 if persistent {
                     self.cores[core].persisting_stores.inc();
                 }
-                t + 1
+                let kind = if t > now {
+                    EventKind::StoreBuffer
+                } else {
+                    EventKind::Pipeline
+                };
+                (t + 1, kind)
             }
             Op::Clwb { addr } => {
                 // Program order: all older stores must reach the L1D before
@@ -510,10 +622,18 @@ impl System {
                     wrote_back: f.wrote_back,
                 });
                 self.cores[core].record_flush(f.persist);
-                t + 1
+                let kind = if f.wrote_back {
+                    EventKind::Wpq
+                } else if t > now {
+                    EventKind::StoreBuffer
+                } else {
+                    EventKind::Pipeline
+                };
+                (t + 1, kind)
             }
             Op::Fence => {
-                let mut t = self.drain_sb_all(core, now);
+                let sb_done = self.drain_sb_all(core, now);
+                let mut t = sb_done;
                 if self.persist.mode() == PersistencyMode::Bep {
                     // Epoch barrier: stall until the volatile persist
                     // buffer has fully drained to the persistence domain
@@ -530,11 +650,21 @@ impl System {
                 self.cores[core].fences.inc();
                 self.trace
                     .push(TraceEvent::EpochBarrier { core, cycle: done });
-                done
+                let kind = if t > sb_done {
+                    EventKind::Bbpb
+                } else if done > t {
+                    EventKind::Wpq
+                } else if sb_done > now {
+                    EventKind::StoreBuffer
+                } else {
+                    EventKind::Pipeline
+                };
+                (done, kind)
             }
         };
         self.cores[core].committed.inc();
         self.cores[core].ready_at = end.max(now);
+        self.profile.record(kind, self.cores[core].ready_at - now);
         self.now_max = self.now_max.max(self.cores[core].ready_at);
         // Always-on debug audit: every few thousand committed ops, sweep
         // the coherence, inclusion, and holder-index invariants so every
@@ -679,6 +809,39 @@ impl System {
         NvmImage::from_store(media)
     }
 
+    /// A fingerprint of everything [`System::crash_image`] can read: equal
+    /// epochs at two probe points of the *same* system prove the two images
+    /// are byte-identical, so a crash-point sweep can reuse the previous
+    /// point's recovery verdict without snapshotting again.
+    ///
+    /// Soundness: each summand is a monotone per-structure mutation
+    /// counter (media, battery-backed store buffers, persist buffers, or
+    /// the cache hierarchy for eADR), so an unchanged *sum* implies every
+    /// summand — hence every structure the image derives from — is
+    /// unchanged. The converse does not hold (a counter can bump without
+    /// changing image bytes); a changed epoch only costs a fresh snapshot.
+    #[must_use]
+    pub fn crash_image_epoch(&self, battery_ok: bool) -> u64 {
+        let media = self.memories.nvmm().media_version();
+        if !battery_ok {
+            // Battery dropped: the image is the media snapshot alone.
+            return media;
+        }
+        let sb: u64 = if self.cfg.battery_backed_sb {
+            self.cores.iter().map(|c| c.sb.version()).sum()
+        } else {
+            0
+        };
+        match self.persist.mode() {
+            // Only the WPQ survives, and it is already merged into media.
+            PersistencyMode::Pmem | PersistencyMode::Bep => media,
+            PersistencyMode::Eadr => media + sb + self.hierarchy.version(),
+            PersistencyMode::BbbMemorySide | PersistencyMode::BbbProcessorSide => {
+                media + sb + self.persist.buffers_version()
+            }
+        }
+    }
+
     /// Overlays persistent store-buffer entries (oldest first, per core)
     /// onto a media snapshot — the non-destructive mirror of
     /// [`System::crash_drain_store_buffers`].
@@ -799,7 +962,16 @@ impl System {
             "sim.residual_persist_blocks",
             self.residual_persist_blocks(),
         );
+        self.profile.export(&mut s);
         s
+    }
+
+    /// Per-kind event counts and simulated-cycle attribution for every op
+    /// stepped on this machine so far (pipeline vs. store buffer vs. WPQ
+    /// vs. bbPB vs. NVMM — see [`EventKind`]).
+    #[must_use]
+    pub fn sched_profile(&self) -> &SchedProfile {
+        &self.profile
     }
 
     /// Verifies the cache-coherence and bbPB-inclusion invariants. Tests

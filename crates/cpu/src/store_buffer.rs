@@ -60,6 +60,10 @@ pub struct SbEntry {
 pub struct StoreBuffer {
     entries: VecDeque<SbEntry>,
     capacity: usize,
+    /// Monotone mutation counter: bumped whenever `entries` changes. Lets a
+    /// crash-image memoizer prove "no buffered store changed between two
+    /// probe points" without comparing contents.
+    version: u64,
 }
 
 impl StoreBuffer {
@@ -74,7 +78,15 @@ impl StoreBuffer {
         Self {
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            version: 0,
         }
+    }
+
+    /// Monotone mutation counter: unchanged version within one buffer's
+    /// lifetime proves unchanged contents (the converse need not hold).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Capacity in entries.
@@ -110,6 +122,7 @@ impl StoreBuffer {
         if self.is_full() {
             return Err(entry);
         }
+        self.version += 1;
         self.entries.push_back(entry);
         Ok(())
     }
@@ -122,13 +135,21 @@ impl StoreBuffer {
 
     /// Removes and returns the oldest entry.
     pub fn pop_front(&mut self) -> Option<SbEntry> {
-        self.entries.pop_front()
+        let popped = self.entries.pop_front();
+        if popped.is_some() {
+            self.version += 1;
+        }
+        popped
     }
 
     /// Removes and returns the entry at `index` (relaxed-consistency drain:
     /// any ready entry may go to the L1D out of order).
     pub fn pop_at(&mut self, index: usize) -> Option<SbEntry> {
-        self.entries.remove(index)
+        let popped = self.entries.remove(index);
+        if popped.is_some() {
+            self.version += 1;
+        }
+        popped
     }
 
     /// Iterates entries oldest-first (crash draining of a battery-backed
@@ -139,6 +160,9 @@ impl StoreBuffer {
 
     /// Drains all entries oldest-first (crash flush-on-fail).
     pub fn drain_all(&mut self) -> Vec<SbEntry> {
+        if !self.entries.is_empty() {
+            self.version += 1;
+        }
         self.entries.drain(..).collect()
     }
 

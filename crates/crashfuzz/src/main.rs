@@ -23,7 +23,7 @@ use bbb_crashfuzz::{
     SweepOutcome, SweepPerf, SweepShard, CRASHFUZZ_SEED,
 };
 use bbb_runner::{json_requested, Report, Runner};
-use bbb_sim::{SimConfig, Table};
+use bbb_sim::{EventKind, SimConfig, Table};
 use bbb_workloads::{WorkloadKind, WorkloadParams};
 
 fn usage() -> ! {
@@ -206,12 +206,13 @@ fn main() {
 }
 
 /// Writes the `perf` wall-time report (and `BENCH_perf.json` when JSON
-/// output is requested): sweep throughput plus the copy-on-write
-/// snapshot economics the clone-free crash imaging path delivers. CI's
-/// perf-smoke job archives this file and alarms on gross (>3×)
-/// wall-time regression against the recorded budget. The ASCII form
-/// goes to stderr: it carries wall-clock numbers, and stdout must stay
-/// byte-identical across `BBB_THREADS` settings.
+/// output is requested): sweep throughput, the copy-on-write snapshot
+/// economics of the clone-free crash imaging path, and the scheduler's
+/// per-component simulated-cycle attribution. CI's perf-smoke job
+/// archives this file and alarms on >1.5× wall-time regression against
+/// the recorded budget. The ASCII form goes to stderr: it carries
+/// wall-clock numbers, and stdout must stay byte-identical across
+/// `BBB_THREADS` settings.
 fn emit_perf_report(
     runner: &Runner,
     shards: &[SweepShard],
@@ -231,6 +232,16 @@ fn emit_perf_report(
         "sim_cycles_per_sec",
         perf.sim_cycles as f64 / wall_secs.max(1e-9),
     );
+    for kind in EventKind::ALL {
+        report.meta(
+            &format!("sched.events.{}", kind.name()),
+            perf.sched.count(kind),
+        );
+        report.meta(
+            &format!("sched.cycles.{}", kind.name()),
+            perf.sched.cycles(kind),
+        );
+    }
     let mut table = Table::new("Crash-sweep wall time", &["metric", "value"]);
     table.row_owned(vec!["wall_seconds".into(), format!("{wall_secs:.3}")]);
     table.row_owned(vec![
@@ -242,6 +253,10 @@ fn emit_perf_report(
         format!("{:.0}", perf.sim_cycles as f64 / wall_secs.max(1e-9)),
     ]);
     table.row_owned(vec!["snapshots".into(), perf.snapshots.to_string()]);
+    table.row_owned(vec![
+        "snapshots_reused".into(),
+        perf.snapshots_reused.to_string(),
+    ]);
     table.row_owned(vec![
         "snapshot_pages_shared".into(),
         perf.pages_shared.to_string(),
@@ -255,6 +270,25 @@ fn emit_perf_report(
         perf.clone_bytes_avoided.to_string(),
     ]);
     report.table(table);
+    // Where simulated time went, per scheduler event kind: the profile the
+    // event-driven interpreter attributes as each op completes.
+    let mut sched = Table::new(
+        "Simulated-cycle attribution",
+        &["component", "events", "cycles", "share"],
+    );
+    let total = perf.sched.total_cycles().max(1);
+    for kind in EventKind::ALL {
+        sched.row_owned(vec![
+            kind.name().into(),
+            perf.sched.count(kind).to_string(),
+            perf.sched.cycles(kind).to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * perf.sched.cycles(kind) as f64 / total as f64
+            ),
+        ]);
+    }
+    report.table(sched);
     report.note(format!(
         "{} snapshots: {} pages shared, {} copied ({} clone bytes avoided)",
         perf.snapshots, perf.pages_shared, perf.pages_copied, perf.clone_bytes_avoided

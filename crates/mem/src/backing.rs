@@ -9,16 +9,15 @@
 //! crash-point sweep's snapshot path is built on.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use bbb_sim::{Addr, BlockAddr, BLOCK_BYTES};
+use bbb_sim::{Addr, BlockAddr, FxHashMap, BLOCK_BYTES};
 
 const PAGE_SHIFT: u32 = 12;
 /// Bytes per copy-on-write page (4 KiB).
 pub const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 
-type Page = [u8; PAGE_BYTES];
+pub(crate) type Page = [u8; PAGE_BYTES];
 
 /// A sparse, byte-addressable memory with zero-fill semantics: reading an
 /// address that was never written returns zero.
@@ -44,10 +43,20 @@ type Page = [u8; PAGE_BYTES];
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ByteStore {
-    pages: HashMap<u64, Arc<Page>>,
+    /// Sparse page table. Keyed by the fast unkeyed [`bbb_sim::FxHasher`]:
+    /// this lookup sits under every simulated memory access *and* every
+    /// recovery-checker read, and never reaches observable output by
+    /// iteration order.
+    pages: FxHashMap<u64, Arc<Page>>,
     /// Pages deep-copied because a write hit a page still shared with a
     /// snapshot. Clones inherit their ancestor's count at fork time.
     cow_page_copies: u64,
+    /// Monotone mutation counter: bumped on every write call. Two equal
+    /// versions of the *same* store lineage guarantee the contents did
+    /// not change in between — the cheap "has anything happened" check
+    /// the crash-point sweep's image memoization relies on. Like the COW
+    /// counter, it is bookkeeping, not observable contents.
+    version: u64,
 }
 
 impl PartialEq for ByteStore {
@@ -90,8 +99,33 @@ impl ByteStore {
         self.cow_page_copies
     }
 
+    /// Monotone mutation counter: increments on every write. Within one
+    /// store lineage, an unchanged version proves unchanged contents
+    /// (the converse does not hold — rewriting identical bytes bumps it).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Reads `buf.len()` bytes starting at `addr`.
+    #[inline]
     pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off + buf.len() <= PAGE_BYTES {
+            // Single-page access — the overwhelmingly common shape (u64
+            // field reads, 64-byte block transfers): one table lookup,
+            // no loop.
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => buf.copy_from_slice(&p[off..off + buf.len()]),
+                None => buf.fill(0),
+            }
+            return;
+        }
+        self.read_multi(addr, buf);
+    }
+
+    /// The page-straddling slow path of [`ByteStore::read`].
+    fn read_multi(&self, addr: Addr, buf: &mut [u8]) {
         let mut pos = 0;
         while pos < buf.len() {
             let a = addr + pos as u64;
@@ -112,6 +146,7 @@ impl ByteStore {
     /// zero fill or a stale copy — the page is built straight from the
     /// source bytes.
     pub fn write(&mut self, addr: Addr, data: &[u8]) {
+        self.version += 1;
         let mut pos = 0;
         while pos < data.len() {
             let a = addr + pos as u64;
@@ -166,11 +201,19 @@ impl ByteStore {
     }
 
     /// Reads a little-endian `u64` at `addr` (need not be aligned).
+    #[inline]
     #[must_use]
     pub fn read_u64(&self, addr: Addr) -> u64 {
         let mut b = [0u8; 8];
         self.read(addr, &mut b);
         u64::from_le_bytes(b)
+    }
+
+    /// The shared page holding `addr`, if materialized (page-granular
+    /// access for [`crate::image::ImageReader`]'s memoized fast path).
+    #[inline]
+    pub(crate) fn page_for(&self, addr: Addr) -> Option<&Arc<Page>> {
+        self.pages.get(&(addr >> PAGE_SHIFT))
     }
 
     /// Writes a little-endian `u64` at `addr`.

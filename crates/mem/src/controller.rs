@@ -231,6 +231,15 @@ impl NvmmController {
         self.media.resident_pages()
     }
 
+    /// Monotone media mutation counter (see [`ByteStore::version`]): if two
+    /// probes of the same controller observe equal versions, no media write
+    /// happened in between, so crash images taken at both points are
+    /// byte-identical as far as media (and the merged-in WPQ) goes.
+    #[must_use]
+    pub fn media_version(&self) -> u64 {
+        self.media.version()
+    }
+
     /// Media pages deep-copied by copy-on-write so far (writes that hit a
     /// page still shared with a snapshot).
     #[must_use]

@@ -10,9 +10,7 @@
 //! start/completion window on the controller's channels; the entry occupies
 //! a WPQ slot until its media write completes.
 
-use std::collections::HashMap;
-
-use bbb_sim::{BlockAddr, Counter, Cycle, Stats, BLOCK_BYTES};
+use bbb_sim::{BlockAddr, Counter, Cycle, FxHashMap, Stats, BLOCK_BYTES};
 
 use crate::sched::ChannelScheduler;
 
@@ -51,7 +49,7 @@ pub struct WpqAccept {
 #[derive(Debug, Clone)]
 pub struct WritePendingQueue {
     capacity: usize,
-    entries: HashMap<BlockAddr, Entry>,
+    entries: FxHashMap<BlockAddr, Entry>,
     media_writes: Counter,
     coalesced: Counter,
     backpressure_events: Counter,
@@ -68,7 +66,7 @@ impl WritePendingQueue {
         assert!(capacity > 0, "WPQ capacity must be positive");
         Self {
             capacity,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             media_writes: Counter::new(),
             coalesced: Counter::new(),
             backpressure_events: Counter::new(),

@@ -1,0 +1,160 @@
+//! Fast, deterministic hashing for simulator-internal maps.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed and
+//! DoS-resistant — properties the simulator's internal maps do not need,
+//! at a cost that dominates the hot paths that *do* need a map lookup per
+//! access: the sparse page store behind every memory read, the WPQ entry
+//! table, and the persist-state holder index. [`FxHasher`] is the
+//! multiply-and-rotate hash used by rustc's `FxHashMap`: one `u64`
+//! multiply per word of input, unkeyed, and therefore also *stable across
+//! processes and runs* — a property the crash-point sweeps' bit-identical
+//! determinism contract is entitled to rely on.
+//!
+//! No map whose iteration order reaches observable output may use this
+//! (or any) `HashMap` directly; the simulator's rule — iterate in sorted
+//! or insertion order when the result is observable — is unchanged.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-style Fx hash state. One multiply per written word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// 64-bit Fx multiplier (the fractional bits of the golden ratio).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" + "" and "a" + "b" differ.
+            self.add_to_hash(u64::from_le_bytes(tail) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the fast, unkeyed [`FxHasher`]. Use for
+/// simulator-internal lookups on hot paths; never iterate one into
+/// observable output.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` over [`FxHasher`], same caveats as [`FxHashMap`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(b"bbb"), hash_of(b"bbb"));
+        let mut a = FxHasher::default();
+        a.write_u64(0x1234);
+        let mut b = FxHasher::default();
+        b.write_u64(0x1234);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_basic_inputs() {
+        assert_ne!(hash_of(b"a"), hash_of(b"b"));
+        assert_ne!(hash_of(b"ab"), hash_of(b"ba"));
+        assert_ne!(hash_of(&[0]), hash_of(&[0, 0]));
+        let mut h = FxHasher::default();
+        h.write_u64(1);
+        let mut g = FxHasher::default();
+        g.write_u64(2);
+        assert_ne!(h.finish(), g.finish());
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.remove(&7), Some(14));
+        assert!(!m.contains_key(&7));
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(3);
+        assert!(s.contains(&3));
+    }
+
+    #[test]
+    fn page_index_keys_spread() {
+        // The page store keys maps by `addr >> 12`; sequential page
+        // indices must not collide in the low bits the table uses.
+        let hashes: Vec<u64> = (0u64..64)
+            .map(|i| {
+                let mut h = FxHasher::default();
+                h.write_u64(i);
+                h.finish()
+            })
+            .collect();
+        let mut low7: Vec<u64> = hashes.iter().map(|h| h >> 57).collect();
+        low7.sort_unstable();
+        low7.dedup();
+        assert!(low7.len() > 32, "top bits too clustered: {}", low7.len());
+    }
+}

@@ -29,8 +29,10 @@
 pub mod addr;
 pub mod clock;
 pub mod config;
+pub mod hash;
 pub mod port;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod table;
 pub mod trace;
@@ -38,8 +40,10 @@ pub mod trace;
 pub use addr::{Addr, AddressMap, BlockAddr, Region, BLOCK_BYTES, BLOCK_SHIFT};
 pub use clock::{Cycle, CLOCK_GHZ};
 pub use config::{BbpbConfig, CacheConfig, CoreConfig, DrainPolicy, MemTiming, SimConfig};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use port::MemoryPort;
 pub use rng::SplitMix64;
+pub use sched::{EventKind, EventQueue, SchedProfile};
 pub use stats::{Counter, Histogram, Stats};
 pub use table::Table;
 pub use trace::{merge_logs, TraceEvent, TraceLog};

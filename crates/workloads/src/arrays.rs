@@ -177,6 +177,7 @@ impl Workload for ArrayWorkload {
 ///
 /// Returns the index of the first untagged element.
 pub fn check_array_recovery(image: &NvmImage, base: Addr, elements: u64) -> Result<u64, String> {
+    let mut image = image.reader();
     let mut originals = 0;
     for i in 0..elements {
         let v = image.read_u64(base + i * 8);

@@ -16,7 +16,7 @@
 
 use bbb_core::Workload;
 use bbb_cpu::Op;
-use bbb_mem::{ByteStore, NvmImage};
+use bbb_mem::{ByteStore, ImageReader, NvmImage};
 use bbb_sim::{Addr, AddressMap, SplitMix64};
 
 use crate::builder::OpBuilder;
@@ -301,7 +301,7 @@ pub fn check_btree_recovery(
     root_slot: Addr,
 ) -> Result<u64, String> {
     fn walk(
-        image: &NvmImage,
+        image: &mut ImageReader<'_>,
         map: &AddressMap,
         node: Addr,
         depth: u32,
@@ -333,12 +333,13 @@ pub fn check_btree_recovery(
         Ok(())
     }
 
-    let root = image.read_u64(root_slot);
+    let mut reader = image.reader();
+    let root = reader.read_u64(root_slot);
     if root == 0 {
         return Ok(0);
     }
     let mut keys = 0;
-    walk(image, map, root, 0, &mut keys)?;
+    walk(&mut reader, map, root, 0, &mut keys)?;
     Ok(keys)
 }
 

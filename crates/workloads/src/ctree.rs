@@ -14,7 +14,7 @@
 
 use bbb_core::Workload;
 use bbb_cpu::Op;
-use bbb_mem::{ByteStore, NvmImage};
+use bbb_mem::{ByteStore, ImageReader, NvmImage};
 use bbb_sim::{Addr, AddressMap, SplitMix64};
 
 use crate::builder::OpBuilder;
@@ -314,7 +314,7 @@ pub fn check_ctree_recovery(
     root_addr: Addr,
 ) -> Result<u64, String> {
     fn walk(
-        image: &NvmImage,
+        image: &mut ImageReader<'_>,
         map: &AddressMap,
         p: Addr,
         max_bit: u32,
@@ -342,16 +342,19 @@ pub fn check_ctree_recovery(
         if bit >= max_bit {
             return Err(format!("bit order violated at {p:#x}"));
         }
-        walk(image, map, image.read_u64(p + 8), bit, leaves, depth + 1)?;
-        walk(image, map, image.read_u64(p + 16), bit, leaves, depth + 1)
+        let left = image.read_u64(p + 8);
+        walk(image, map, left, bit, leaves, depth + 1)?;
+        let right = image.read_u64(p + 16);
+        walk(image, map, right, bit, leaves, depth + 1)
     }
 
-    let root = image.read_u64(root_addr);
+    let mut reader = image.reader();
+    let root = reader.read_u64(root_addr);
     if root == 0 {
         return Ok(0);
     }
     let mut leaves = 0;
-    walk(image, map, root, KEY_BITS + 1, &mut leaves, 0)?;
+    walk(&mut reader, map, root, KEY_BITS + 1, &mut leaves, 0)?;
     Ok(leaves)
 }
 

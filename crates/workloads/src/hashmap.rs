@@ -168,6 +168,7 @@ pub fn check_hashmap_recovery(
     buckets_addr: Addr,
     n_buckets: u64,
 ) -> Result<u64, String> {
+    let mut image = image.reader();
     let mut nodes = 0u64;
     for i in 0..n_buckets {
         let mut p = image.read_u64(buckets_addr + i * 8);

@@ -143,6 +143,7 @@ impl LinkedList {
         };
         let r = probe.check_recovery(image, map)?;
         // Find the high-water mark for allocator resumption.
+        let mut image = image.reader();
         let mut hw = head_addr + 8;
         let mut p = image.read_u64(head_addr);
         while p != 0 {
@@ -170,6 +171,7 @@ impl LinkedList {
         image: &NvmImage,
         map: &AddressMap,
     ) -> Result<ListRecovery, ListCorruption> {
+        let mut image = image.reader();
         let mut seen = 0u64;
         let mut p = image.read_u64(self.head_addr);
         while p != 0 {

@@ -194,14 +194,21 @@ fn sharded_parallel_sweep_matches_serial_sweep_exactly() {
             }
             assert_eq!(merged.negative_points, serial.negative_points);
             assert_eq!(merged.negative_signatures, serial.negative_signatures);
-            // Snapshot economics are per-point-deterministic, so they
-            // must also merge back identically.
-            assert_eq!(merged.perf.snapshots, serial.perf.snapshots);
-            assert_eq!(merged.perf.pages_shared, serial.perf.pages_shared);
-            assert_eq!(merged.perf.pages_copied, serial.perf.pages_copied);
+            // Crash verdicts are per-point-deterministic, but the
+            // snapshot/reuse split is not: the verdict memo is
+            // shard-local, so every extra shard boundary may re-take a
+            // snapshot the serial sweep's memo reused. The number of
+            // verdicts computed must merge back exactly, and sharding
+            // can only add snapshots, never skip one the serial sweep
+            // took.
             assert_eq!(
-                merged.perf.clone_bytes_avoided,
-                serial.perf.clone_bytes_avoided
+                merged.perf.snapshots + merged.perf.snapshots_reused,
+                serial.perf.snapshots + serial.perf.snapshots_reused,
+                "{shard_count} shards"
+            );
+            assert!(
+                merged.perf.snapshots >= serial.perf.snapshots,
+                "{shard_count} shards"
             );
         }
     }
