@@ -159,6 +159,11 @@ pub fn policies() -> &'static [ArtifactPolicy] {
             regen: "cargo run --release -p bbb-bench --bin table10 -- --json",
         },
         ArtifactPolicy {
+            name: "pstore",
+            scale: "default",
+            regen: "BBB_SCALE=default cargo run --release -p bbb-bench --bin pstore -- --json",
+        },
+        ArtifactPolicy {
             name: "crashfuzz",
             scale: "smoke",
             regen: "cargo run --release -p bbb-crashfuzz --bin crashfuzz -- --smoke --json",
@@ -293,6 +298,17 @@ pub fn bands() -> &'static [CellBand] {
             "default",
         ),
         band("spectrum", 0, "geomean", "BBB (32)", 1.01, 0.02, "default"),
+        // ---- bbb-pstore ring: the protocol's ordering-instruction count
+        // under the battery-backed modes is pinned to *exactly zero* —
+        // this is the PR's acceptance claim (commit path provably
+        // fence-free), not a tolerance question. The bbb-mem runtime is
+        // pinned to eADR parity: the op streams are identical, so any
+        // drift means the commit path grew mode-dependent work.
+        band("pstore", 0, "eadr", "fences", 0.0, 0.0, "default"),
+        band("pstore", 0, "bbb-mem", "fences", 0.0, 0.0, "default"),
+        band("pstore", 0, "bbb-proc", "fences", 0.0, 0.0, "default"),
+        band("pstore", 0, "eadr", "vs eADR", 1.0, 0.0, "default"),
+        band("pstore", 0, "bbb-mem", "vs eADR", 1.0, 0.02, "default"),
         // ---- Table VII: draining energy (paper: mobile 46.5 mJ vs
         // 145 µJ; server 550 mJ vs 775 µJ). Analytic, so rounding-tight.
         band("table7", 1, "Mobile Class", "eADR", 46.5, 0.5, "paper"),

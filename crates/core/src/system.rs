@@ -127,6 +127,30 @@ impl RunCursor {
     pub fn finished(&self) -> bool {
         self.active.iter().all(|&a| !a)
     }
+
+    /// Completion events currently queued. The scheduler's invariant is
+    /// one event per active core; lazy stale-event invalidation can
+    /// transiently exceed that, and the compaction pass in
+    /// [`System::run_until`] guarantees the count stays `O(cores)` on
+    /// arbitrarily long runs — tests assert against this accessor.
+    #[must_use]
+    pub fn queued_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// What a probed run ([`System::run_probed`] family) records boundary
+/// cycles for. Kept separate from [`EventProbe`] on purpose: adding fields
+/// to the probe struct would change boundary detection — and therefore the
+/// committed sweep artifacts — for every existing workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeKind {
+    /// Persist-relevant ordering events (fences, forced drains, WPQ
+    /// backpressure): the default crash-point planner signal.
+    Ordering,
+    /// Committed persisting stores: the store-granular grid the pstore
+    /// protocol sweep crashes on.
+    PersistingStores,
 }
 
 /// Monotone event counters sampled between ops — the cheap signal a
@@ -414,7 +438,33 @@ impl System {
         cursor: &mut RunCursor,
         event_cycles: &mut Vec<Cycle>,
     ) -> RunSummary {
-        self.run_inner(workload, cursor, StopAt::End, Some(event_cycles))
+        self.run_inner(
+            workload,
+            cursor,
+            StopAt::End,
+            Some((event_cycles, ProbeKind::Ordering)),
+        )
+    }
+
+    /// Like [`System::run_probed`], but records the cycle after every
+    /// committed *persisting store* instead of after ordering events. The
+    /// pstore crash sweep plans on this grid: a store-granular protocol
+    /// (plain stores, no fences under BBB) has its interesting crash
+    /// points at store boundaries, which the ordering probe — fences,
+    /// forced drains, WPQ backpressure — cannot see at all on a
+    /// battery-backed machine.
+    pub fn run_probed_stores(
+        &mut self,
+        workload: &mut dyn Workload,
+        cursor: &mut RunCursor,
+        event_cycles: &mut Vec<Cycle>,
+    ) -> RunSummary {
+        self.run_inner(
+            workload,
+            cursor,
+            StopAt::End,
+            Some((event_cycles, ProbeKind::PersistingStores)),
+        )
     }
 
     fn run_inner(
@@ -422,12 +472,19 @@ impl System {
         workload: &mut dyn Workload,
         cursor: &mut RunCursor,
         stop: StopAt,
-        mut probe: Option<&mut Vec<Cycle>>,
+        mut probe: Option<(&mut Vec<Cycle>, ProbeKind)>,
     ) -> RunSummary {
-        let mut last = if probe.is_some() {
-            self.probe_events()
-        } else {
-            EventProbe::default()
+        let mut last = match probe {
+            Some((_, ProbeKind::Ordering)) => self.probe_events(),
+            _ => EventProbe::default(),
+        };
+        let mut last_pstores: Vec<u64> = match probe {
+            Some((_, ProbeKind::PersistingStores)) => self
+                .cores
+                .iter()
+                .map(|c| c.persisting_stores.get())
+                .collect(),
+            _ => Vec::new(),
         };
         let n = self.cores.len();
         assert_eq!(cursor.queues.len(), n, "cursor built for another machine");
@@ -446,6 +503,23 @@ impl System {
                 StopAt::Ops(budget) if cursor.ops >= budget => break,
                 StopAt::Cycle(at) if self.now_max >= at => break,
                 _ => {}
+            }
+            // Heap hygiene: stale events are invalidated lazily (detected
+            // on pop and re-pushed at the current clock), which is O(1)
+            // per event but lets entries accumulate if something queues
+            // duplicates — e.g. a driver mixing run_until with direct
+            // clock advances across many increments. Past a small bound
+            // the heap is rebuilt from the per-core clocks instead:
+            // correct because every live core's next event is fully
+            // determined by `ready_at`, so stale and duplicate entries
+            // carry no information.
+            if cursor.events.len() > 2 * n + 8 {
+                cursor.events.clear();
+                for c in 0..n {
+                    if cursor.active[c] {
+                        cursor.events.push(self.cores[c].ready_at, c);
+                    }
+                }
             }
             let Some((at, core)) = cursor.events.pop() else {
                 break;
@@ -482,12 +556,23 @@ impl System {
                 let op = cursor.queues[core].pop_front().expect("non-empty queue");
                 self.step_op(core, &op);
                 cursor.ops += 1;
-                if let Some(sink) = probe.as_deref_mut() {
-                    let p = self.probe_events();
-                    if p != last {
-                        sink.push(self.now_max);
-                        last = p;
+                match probe {
+                    Some((ref mut sink, ProbeKind::Ordering)) => {
+                        let p = self.probe_events();
+                        if p != last {
+                            sink.push(self.now_max);
+                            last = p;
+                        }
                     }
+                    Some((ref mut sink, ProbeKind::PersistingStores)) => {
+                        // Only the stepping core's counter can move.
+                        let p = self.cores[core].persisting_stores.get();
+                        if p != last_pstores[core] {
+                            sink.push(self.now_max);
+                            last_pstores[core] = p;
+                        }
+                    }
+                    None => {}
                 }
                 // The stop check runs between ops exactly as it would at
                 // the top of the scheduler loop; on a stop the core's next
@@ -1501,6 +1586,102 @@ mod tests {
             stepped.crash_now().read_u64(pbase(&whole)),
             whole.crash_now().read_u64(pbase(&whole))
         );
+    }
+
+    #[test]
+    fn event_heap_stays_bounded_on_long_incremental_runs() {
+        // Scheduler-heap hygiene: stale events are invalidated lazily on
+        // pop with no per-event cleanup. An audit of run_inner shows every
+        // push is matched by a pop on all paths (step, yield, stop, stream
+        // end), so organic runs cannot leak — but a long run advanced in
+        // thousands of tiny increments is exactly where an imbalance
+        // would compound, so this regression test pins the O(cores)
+        // bound the compaction pass enforces either way.
+        let mut cfg = SimConfig::small_for_tests();
+        cfg.cores = 1;
+        let mut s = System::new(cfg, PersistencyMode::BbbMemorySide).unwrap();
+        let a = s.address_map().persistent_base();
+        struct Stream {
+            addr: u64,
+            left: u64,
+        }
+        impl Workload for Stream {
+            fn name(&self) -> &str {
+                "stream"
+            }
+            fn next_batch(&mut self, _core: usize, _arch: &mut ByteStore) -> Option<Vec<Op>> {
+                if self.left == 0 {
+                    return None;
+                }
+                self.left -= 1;
+                Some(vec![Op::store_u64(
+                    self.addr + (self.left % 64) * 64,
+                    self.left,
+                )])
+            }
+        }
+        let mut w = Stream {
+            addr: a,
+            left: 5000,
+        };
+        let mut cursor = RunCursor::new(1);
+        // One in-flight workload event: the compaction threshold 2n + 8.
+        let bound = 10;
+        let mut at = 0;
+        loop {
+            at += 200;
+            let summary = s.run_until(&mut w, &mut cursor, StopAt::Cycle(at));
+            assert!(
+                cursor.queued_events() <= bound,
+                "event heap grew to {} entries",
+                cursor.queued_events()
+            );
+            if summary.completed {
+                break;
+            }
+        }
+        assert_eq!(cursor.ops(), 5000);
+    }
+
+    #[test]
+    fn forged_duplicate_events_are_compacted_away() {
+        // Force the pathological heap state the lazy invalidation could
+        // in principle accumulate: hundreds of stale duplicates for one
+        // core, and no entry at all for the other. The compaction pass
+        // must rebuild the heap from the per-core clocks — restoring the
+        // one-event-per-active-core invariant — and the run must still
+        // complete with every op accounted for.
+        let mut s = sys(PersistencyMode::Eadr);
+        let a = pbase(&s);
+        struct Fixed {
+            per_core: Vec<Vec<Op>>,
+        }
+        impl Workload for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn next_batch(&mut self, core: usize, _arch: &mut ByteStore) -> Option<Vec<Op>> {
+                let ops = std::mem::take(&mut self.per_core[core]);
+                if ops.is_empty() {
+                    None
+                } else {
+                    Some(ops)
+                }
+            }
+        }
+        let ops: Vec<Op> = (0..32u64).map(|i| Op::store_u64(a + i * 64, i)).collect();
+        let mut w = Fixed {
+            per_core: vec![ops.clone(), ops],
+        };
+        let mut cursor = RunCursor::new(2);
+        for i in 0..500u64 {
+            cursor.events.push(i, 0);
+        }
+        let summary = s.run_until(&mut w, &mut cursor, StopAt::End);
+        assert!(summary.completed);
+        assert_eq!(cursor.ops(), 64, "both cores ran despite the forged heap");
+        assert!(cursor.queued_events() <= 2 * 2 + 8);
+        s.check_invariants();
     }
 
     #[test]

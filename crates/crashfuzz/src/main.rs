@@ -1,11 +1,15 @@
 //! `crashfuzz` — sweep power failures across every (workload, mode) pair.
 //!
 //! ```text
-//! crashfuzz [--smoke] [--json] [--seed N]
+//! crashfuzz [--smoke] [--json] [--seed N] [--pstore]
 //!
 //!   --smoke   CI grid: smoke-sized workloads, ~300 planned points/pair
 //!   --json    also write BENCH_crashfuzz.json (or set BBB_JSON=1)
 //!   --seed N  random-point seed (default 0xBBB5EED)
+//!   --pstore  sweep the bbb-pstore ring protocol instead of the Table IV
+//!             suite: every mode under the paper's discipline with crash
+//!             points planned on persisting-store boundaries, plus the
+//!             lossy PMEM/BEP differential oracles (report: crashfuzz-pstore)
 //! ```
 //!
 //! Exit status is non-zero when any pair fails: a consistency violation
@@ -27,18 +31,20 @@ use bbb_sim::{EventKind, SimConfig, Table};
 use bbb_workloads::{WorkloadKind, WorkloadParams};
 
 fn usage() -> ! {
-    eprintln!("usage: crashfuzz [--smoke] [--json] [--seed N]");
+    eprintln!("usage: crashfuzz [--smoke] [--json] [--seed N] [--pstore]");
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
+    let mut pstore = false;
     let mut seed = CRASHFUZZ_SEED;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--pstore" => pstore = true,
             "--json" => {} // consumed by json_requested()
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => seed = v,
@@ -70,29 +76,33 @@ fn main() {
 
     // Every pair under the paper's discipline, plus — for workloads
     // whose lost updates the checker can observe — the two lossy
-    // differential oracles.
+    // differential oracles. `--pstore` swaps in the ring-protocol sweep:
+    // same shape, but crash points land on persisting-store boundaries
+    // (the protocol is fence-free under BBB, so ordering events would
+    // plan nothing) and the report is kept separate so the committed
+    // Table IV artifact stays byte-stable.
+    let suite: &[WorkloadKind] = if pstore {
+        &[WorkloadKind::PstoreLog]
+    } else {
+        &WorkloadKind::ALL
+    };
     let mut configs = Vec::new();
-    for kind in WorkloadKind::ALL {
+    for &kind in suite {
         for mode in PersistencyMode::ALL {
-            configs.push(SweepConfig::paper_discipline(
-                kind, mode, &cfg, params, grid,
-            ));
+            let mut sc = SweepConfig::paper_discipline(kind, mode, &cfg, params, grid);
+            if pstore {
+                sc = sc.with_store_boundaries();
+            }
+            configs.push(sc);
         }
         if lost_updates_observable(kind) {
-            configs.push(SweepConfig::lossy(
-                kind,
-                PersistencyMode::Pmem,
-                &cfg,
-                params,
-                grid,
-            ));
-            configs.push(SweepConfig::lossy(
-                kind,
-                PersistencyMode::Bep,
-                &cfg,
-                params,
-                grid,
-            ));
+            for mode in [PersistencyMode::Pmem, PersistencyMode::Bep] {
+                let mut sc = SweepConfig::lossy(kind, mode, &cfg, params, grid);
+                if pstore {
+                    sc = sc.with_store_boundaries();
+                }
+                configs.push(sc);
+            }
         }
     }
 
@@ -126,7 +136,12 @@ fn main() {
         perf.absorb(&out.perf);
     }
 
-    let mut report = Report::with_json("crashfuzz", json_requested());
+    let report_name = if pstore {
+        "crashfuzz-pstore"
+    } else {
+        "crashfuzz"
+    };
+    let mut report = Report::with_json(report_name, json_requested());
     report.meta_scale_name(if smoke { "smoke" } else { "full" });
     report.meta("seed", seed);
     report.meta("grid", if smoke { "smoke" } else { "full" });
@@ -174,7 +189,15 @@ fn main() {
     );
     report.emit().expect("report written");
 
-    emit_perf_report(&runner, &flat, total_points, wall_secs, &perf, smoke);
+    emit_perf_report(
+        &runner,
+        &flat,
+        total_points,
+        wall_secs,
+        &perf,
+        smoke,
+        pstore,
+    );
 
     let mut failed = false;
     for (cfg, out) in configs.iter().zip(&outcomes) {
@@ -220,8 +243,12 @@ fn emit_perf_report(
     wall_secs: f64,
     perf: &SweepPerf,
     smoke: bool,
+    pstore: bool,
 ) {
-    let mut report = Report::with_json("perf", json_requested());
+    // The pstore sweep keeps its own perf artifact: BENCH_perf.json is a
+    // committed Table IV artifact the CI perf job alarms on.
+    let name = if pstore { "perf-pstore" } else { "perf" };
+    let mut report = Report::with_json(name, json_requested());
     report.meta_scale_name(if smoke { "smoke" } else { "full" });
     report.meta("threads", runner.threads());
     report.meta("shards", shards.len());

@@ -53,6 +53,11 @@ pub struct SweepConfig {
     /// Insert an epoch barrier after every high-level operation (the
     /// discipline BEP requires for durability).
     pub epoch_barriers: bool,
+    /// Plan crash points on *persisting-store* boundaries instead of
+    /// ordering events. Store-granular protocols (the pstore ring: plain
+    /// stores, no fences under BBB) have their interesting crash points
+    /// between stores, where the ordering probe sees nothing.
+    pub store_boundaries: bool,
     /// Crash-point plan.
     pub grid: GridSpec,
 }
@@ -78,8 +83,17 @@ impl SweepConfig {
             cfg: cfg.clone(),
             params,
             epoch_barriers: mode.requires_epoch_barriers(),
+            store_boundaries: false,
             grid,
         }
+    }
+
+    /// The same configuration planning its crash grid on persisting-store
+    /// boundaries (see [`SweepConfig::store_boundaries`]).
+    #[must_use]
+    pub fn with_store_boundaries(mut self) -> Self {
+        self.store_boundaries = true;
+        self
     }
 
     /// A deliberately lossy configuration: the same mode with its required
@@ -100,6 +114,7 @@ impl SweepConfig {
             cfg: cfg.clone(),
             params,
             epoch_barriers: false,
+            store_boundaries: false,
             grid,
         }
     }
@@ -153,7 +168,10 @@ impl SweepConfig {
     /// lossy configuration's final recovery count is compared against.
     #[must_use]
     pub fn consistent_twin(&self) -> Self {
-        Self::paper_discipline(self.workload, self.mode, &self.cfg, self.params, self.grid)
+        let mut twin =
+            Self::paper_discipline(self.workload, self.mode, &self.cfg, self.params, self.grid);
+        twin.store_boundaries = self.store_boundaries;
+        twin
     }
 }
 
@@ -169,7 +187,14 @@ impl SweepConfig {
 pub fn lost_updates_observable(kind: WorkloadKind) -> bool {
     matches!(
         kind,
-        WorkloadKind::Rtree | WorkloadKind::Ctree | WorkloadKind::Hashmap | WorkloadKind::Btree
+        WorkloadKind::Rtree
+            | WorkloadKind::Ctree
+            | WorkloadKind::Hashmap
+            | WorkloadKind::Btree
+            // The ring's committed-sequence watermark counts every append,
+            // so a lost commit is a smaller recovered count (or a torn
+            // window).
+            | WorkloadKind::PstoreLog
     )
 }
 
@@ -203,7 +228,11 @@ pub fn reference_run(cfg: &SweepConfig) -> Reference {
     let (mut w, mut sys) = build(cfg);
     let mut cursor = RunCursor::new(cfg.cfg.cores);
     let mut event_cycles = Vec::new();
-    sys.run_probed(w.as_mut(), &mut cursor, &mut event_cycles);
+    if cfg.store_boundaries {
+        sys.run_probed_stores(w.as_mut(), &mut cursor, &mut event_cycles);
+    } else {
+        sys.run_probed(w.as_mut(), &mut cursor, &mut event_cycles);
+    }
     Reference {
         total_cycles: sys.cycle(),
         total_ops: cursor.ops(),

@@ -1,0 +1,196 @@
+//! File-engine regression pack: the ring must reopen to a clean prefix of
+//! committed grants after dying at *any* point.
+//!
+//! Two attack shapes. The deterministic one replays every store prefix of
+//! a real append/release history onto a copy of the base image — the
+//! exact state a `kill -9` leaves (issued writes survive in the page
+//! cache; un-issued ones never happened) — and demands that recovery
+//! succeeds, reports a monotone prefix, and that a reattached producer
+//! can keep appending without corrupting the sequence chain. The
+//! nondeterministic one actually runs the `bbb-pstore` CLI as a child
+//! process and kills it mid-append.
+
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use bbb_pstore::{
+    backing_len, is_formatted, recover, Discipline, FileBacking, MemBacking, PBacking, RingReader,
+    RingWriter,
+};
+
+/// A backing that journals every store so the test can replay arbitrary
+/// program-order prefixes — the kill-at-any-syscall crash model.
+struct TraceBacking {
+    mem: MemBacking,
+    writes: Vec<(u64, u64)>,
+}
+
+impl PBacking for TraceBacking {
+    fn read_u64(&mut self, off: u64) -> Result<u64, String> {
+        self.mem.read_u64(off)
+    }
+    fn write_u64(&mut self, off: u64, value: u64) -> Result<(), String> {
+        self.writes.push((off, value));
+        self.mem.write_u64(off, value)
+    }
+    fn persist(&mut self, blocks: &[u64]) -> Result<(), String> {
+        self.mem.persist(blocks)
+    }
+}
+
+fn payload_for(seq: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seq as u8).wrapping_add(i as u8))
+        .collect()
+}
+
+#[test]
+fn every_store_prefix_of_an_append_release_history_recovers_cleanly() {
+    let capacity = 512u64;
+    let mut base = MemBacking::new(backing_len(capacity) as usize);
+    let writer = RingWriter::create(&mut base, capacity, Discipline::BufferBacked).unwrap();
+
+    // Drive a history that laps the ring: appends of varied length with
+    // releases interleaved, all stores journaled.
+    let mut traced = TraceBacking {
+        mem: base.clone(),
+        writes: Vec::new(),
+    };
+    let mut w = writer;
+    let mut r = RingReader::attach(&mut traced, Discipline::BufferBacked).unwrap();
+    let mut appended = 0u64;
+    for i in 0..30u64 {
+        let len = 8 * (1 + (i % 3)) as usize;
+        let mut g = loop {
+            match w.grant_write(&mut traced, len as u64) {
+                Ok(g) => break g,
+                Err(bbb_pstore::GrantError::WouldBlock) => {
+                    let span = r.grant_read(&mut traced).unwrap()[0].span;
+                    r.release(&mut traced, span).unwrap();
+                }
+                Err(e) => panic!("grant: {e}"),
+            }
+        };
+        g.payload.copy_from_slice(&payload_for(g.seq, len));
+        w.commit(&mut traced, &g).unwrap();
+        appended += 1;
+    }
+    assert_eq!(appended, 30);
+
+    // Replay every prefix. At each cut: recovery must succeed, every
+    // visible record must carry the payload its seq was committed with,
+    // the visible count must never regress, and a producer reattached to
+    // the image must be able to append one more record that recovery
+    // then chains cleanly.
+    let mut prev_last_seq = 0u64;
+    for cut in 0..=traced.writes.len() {
+        let mut img = base.clone();
+        for &(off, v) in &traced.writes[..cut] {
+            img.write_u64(off, v).unwrap();
+        }
+        let snap = recover(&mut img)
+            .unwrap_or_else(|e| panic!("prefix {cut}/{}: {e}", traced.writes.len()));
+        for rec in &snap.records {
+            assert_eq!(
+                rec.payload,
+                payload_for(rec.seq, rec.payload.len()),
+                "prefix {cut}: record seq {} torn",
+                rec.seq
+            );
+        }
+        if let Some(last) = snap.records.last() {
+            assert!(
+                last.seq >= prev_last_seq,
+                "prefix {cut}: visible prefix regressed ({} < {prev_last_seq})",
+                last.seq
+            );
+            prev_last_seq = last.seq;
+        }
+
+        let mut w2 = RingWriter::attach(&mut img, Discipline::BufferBacked).unwrap();
+        let mut r2 = RingReader::attach(&mut img, Discipline::BufferBacked).unwrap();
+        let mut g = loop {
+            match w2.grant_write(&mut img, 8) {
+                Ok(g) => break g,
+                Err(bbb_pstore::GrantError::WouldBlock) => {
+                    let span = r2.grant_read(&mut img).unwrap()[0].span;
+                    r2.release(&mut img, span).unwrap();
+                }
+                Err(e) => panic!("prefix {cut}: regrant: {e}"),
+            }
+        };
+        let seq = g.seq;
+        g.payload.copy_from_slice(&payload_for(seq, 8));
+        w2.commit(&mut img, &g).unwrap();
+        let after = recover(&mut img)
+            .unwrap_or_else(|e| panic!("prefix {cut}: ring unusable after reattach+append: {e}"));
+        assert_eq!(
+            after.records.last().map(|r| r.seq),
+            Some(seq),
+            "prefix {cut}: post-reattach append not visible"
+        );
+    }
+}
+
+#[test]
+fn cli_survives_kill_minus_nine_mid_append_and_reopens() {
+    let dir = std::env::temp_dir().join(format!("bbb-pstore-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ring.dat");
+    let _ = std::fs::remove_file(&path);
+    let bin = env!("CARGO_BIN_EXE_bbb-pstore");
+    let capacity = 4096u64; // the CLI's ring size
+
+    let mut prev_seq = 0u64;
+    let rounds = 4u64;
+    for round in 0..rounds {
+        // 8-char messages pad to exactly one 8-byte payload word.
+        let msgs: Vec<String> = (0..50).map(|j| format!("r{round}m{j:04}")).collect();
+        let mut child = Command::new(bin)
+            .arg(&path)
+            .arg("append")
+            .args(&msgs)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn bbb-pstore");
+        if round + 1 < rounds {
+            std::thread::sleep(Duration::from_millis(round * 2));
+            let _ = child.kill();
+        }
+        let _ = child.wait();
+
+        let mut backing = FileBacking::open(&path, backing_len(capacity)).unwrap();
+        if !is_formatted(&mut backing).unwrap() {
+            // Killed before the format stamped the magic: nothing was ever
+            // committed, and the next round's CLI re-creates the ring.
+            assert!(round + 1 < rounds, "the un-killed round must format");
+            assert_eq!(prev_seq, 0, "ring unformatted after commits");
+            continue;
+        }
+        let snap = recover(&mut backing).expect("ring must recover after kill -9");
+        assert!(snap.records.len() <= msgs.len());
+        for (i, rec) in snap.records.iter().enumerate() {
+            assert_eq!(rec.seq, prev_seq + 1 + i as u64, "round {round}: seq gap");
+            let mut want = msgs[i].clone().into_bytes();
+            want.resize(8, 0);
+            assert_eq!(rec.payload, want, "round {round}: record {} torn", rec.seq);
+        }
+        if round + 1 == rounds {
+            assert_eq!(
+                snap.records.len(),
+                msgs.len(),
+                "the un-killed round must commit everything"
+            );
+        }
+        prev_seq += snap.records.len() as u64;
+
+        // Release the window so later rounds never hit a full ring.
+        if !snap.records.is_empty() {
+            let bytes: u64 = snap.records.iter().map(|r| r.span).sum();
+            let mut reader = RingReader::attach(&mut backing, Discipline::FlushFence).unwrap();
+            reader.release(&mut backing, bytes).unwrap();
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

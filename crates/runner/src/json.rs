@@ -618,6 +618,30 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_escapes_reject_every_torn_pair_shape() {
+        // A high surrogate must be immediately followed by a \uXXXX low
+        // surrogate; every other continuation is a parse error, including
+        // the EOF-adjacent shapes where the decoder runs out of input
+        // mid-pair.
+        for bad in [
+            "\"\\ud800",          // lone high surrogate, then EOF
+            "\"\\ud800\"",        // lone high surrogate, then closing quote
+            "\"\\ud800x\"",       // followed by a plain character
+            "\"\\ud800\\t\"",     // followed by a non-\u escape
+            "\"\\ud800\\",        // backslash then EOF
+            "\"\\ud800\\u",       // \u then EOF
+            "\"\\ud800\\u12\"",   // low half truncated mid-hex
+            "\"\\ud800\\ud801\"", // followed by another high surrogate
+            "\"\\udc00\"",        // lone low surrogate
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Valid pairs at the astral-plane boundaries still decode.
+        let ok = Json::parse("\"\\ud800\\udc00 \\udbff\\udfff\"").unwrap();
+        assert_eq!(ok.as_str(), Some("\u{10000} \u{10FFFF}"));
+    }
+
+    #[test]
     fn accessors_navigate_parsed_documents() {
         let doc = Json::parse(r#"{"meta":{"scale":"smoke","threads":4},"xs":[1,2.5]}"#).unwrap();
         assert_eq!(

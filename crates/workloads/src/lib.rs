@@ -34,6 +34,7 @@ pub mod hashmap;
 pub mod linkedlist;
 pub mod locks;
 pub mod palloc;
+pub mod pstore_log;
 pub mod rtree;
 pub mod suite;
 
@@ -45,6 +46,7 @@ pub use hashmap::HashmapWorkload;
 pub use linkedlist::LinkedList;
 pub use locks::InsertLock;
 pub use palloc::Palloc;
+pub use pstore_log::{check_pstore_recovery, PstoreLogWorkload, SimBacking};
 pub use rtree::RtreeWorkload;
 pub use suite::{
     make_workload, verify_recovery, verify_recovery_report, RecoveryReport, WorkloadKind,
@@ -61,6 +63,7 @@ const _: () = {
     assert_send::<BtreeWorkload>();
     assert_send::<CtreeWorkload>();
     assert_send::<HashmapWorkload>();
+    assert_send::<PstoreLogWorkload>();
     assert_send::<RtreeWorkload>();
     assert_send::<suite::EpochWorkload<ArrayWorkload>>();
     assert_send::<Box<dyn bbb_core::Workload>>();

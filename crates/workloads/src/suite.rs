@@ -14,12 +14,21 @@ use crate::btree::BtreeWorkload;
 use crate::ctree::CtreeWorkload;
 use crate::hashmap::HashmapWorkload;
 use crate::palloc::Palloc;
+use crate::pstore_log::{check_pstore_recovery, PstoreLogWorkload, SIM_RING_CAPACITY};
 use crate::rtree::RtreeWorkload;
 
 /// Reserved root area at the start of the persistent heap (roots, bucket
 /// arrays): 2 MiB on paper-sized heaps, scaled down for small test heaps.
 fn root_reserve(cfg: &SimConfig) -> u64 {
     (cfg.persistent_heap_bytes / 8).clamp(4096, 1 << 21)
+}
+
+/// Ring base of the pstore workload: past the root reserve, block-aligned
+/// (the protocol's one-word-per-block header depends on it). Construction
+/// and recovery must agree on this address.
+fn pstore_ring_base(cfg: &SimConfig) -> u64 {
+    let map = AddressMap::new(cfg);
+    (map.persistent_base() + root_reserve(cfg)).next_multiple_of(64)
 }
 
 /// The workloads of the paper's Table IV.
@@ -42,6 +51,12 @@ pub enum WorkloadKind {
     /// B+-tree random insertions (extension: mentioned in the paper's
     /// §IV-B text; not a Table IV row, so not in [`WorkloadKind::ALL`]).
     Btree,
+    /// `bbb-pstore` SPSC ring log-append (extension: the grant/commit/
+    /// release protocol of `crates/pstore` run on the simulated machine so
+    /// crashfuzz can sweep its store boundaries; not a Table IV row, and —
+    /// like [`WorkloadKind::Btree`] — kept out of the default sweeps so
+    /// committed artifacts stay stable).
+    PstoreLog,
 }
 
 impl WorkloadKind {
@@ -81,6 +96,7 @@ impl WorkloadKind {
             WorkloadKind::SwapNC => "swapNC",
             WorkloadKind::SwapC => "swapC",
             WorkloadKind::Btree => "btree",
+            WorkloadKind::PstoreLog => "pstore",
         }
     }
 
@@ -94,6 +110,7 @@ impl WorkloadKind {
             WorkloadKind::MutateNC | WorkloadKind::MutateC => "modify in 1 million-element array",
             WorkloadKind::SwapNC | WorkloadKind::SwapC => "swap in 1 million-element array",
             WorkloadKind::Btree => "1 million-node btree insertion (extension)",
+            WorkloadKind::PstoreLog => "bbb-pstore ring log append (extension)",
         }
     }
 
@@ -109,6 +126,9 @@ impl WorkloadKind {
             WorkloadKind::SwapNC | WorkloadKind::SwapC => 23.8,
             // Not reported by the paper; ctree's figure is the closest.
             WorkloadKind::Btree => 18.9,
+            // Not reported by the paper: a log append is almost entirely
+            // persisting stores, like the array workloads.
+            WorkloadKind::PstoreLog => 23.8,
         }
     }
 }
@@ -244,6 +264,26 @@ pub fn make_workload(
                 params.instrument,
             ))
         }
+        WorkloadKind::PstoreLog => {
+            let ring_base = pstore_ring_base(cfg);
+            assert!(
+                ring_base + bbb_pstore::backing_len(SIM_RING_CAPACITY)
+                    <= base + cfg.persistent_heap_bytes,
+                "pstore ring does not fit the persistent heap"
+            );
+            let discipline = if params.instrument {
+                bbb_pstore::Discipline::FlushFence
+            } else {
+                bbb_pstore::Discipline::BufferBacked
+            };
+            Box::new(PstoreLogWorkload::new(
+                ring_base,
+                cores,
+                params.per_core_ops,
+                params.seed,
+                discipline,
+            ))
+        }
     }
 }
 
@@ -282,6 +322,7 @@ pub fn verify_recovery(
             let elements = params.initial.div_ceil(cfg.cores as u64) * cfg.cores as u64;
             crate::arrays::check_array_recovery(image, base + reserve, elements)
         }
+        WorkloadKind::PstoreLog => check_pstore_recovery(image, pstore_ring_base(cfg), params.seed),
     }
 }
 

@@ -12,6 +12,8 @@
 //!   recovery machinery, and the full [`core::System`] simulator,
 //! * [`workloads`] — the paper's Table IV workloads and recoverable data
 //!   structures,
+//! * [`pstore`] — the SPSC persistent ring buffer programmed on the BBB
+//!   discipline (grant/commit/release; flush-free under battery backing),
 //! * [`energy`] — the draining-energy/time and battery-sizing models behind
 //!   the paper's Tables V–X,
 //! * [`runner`] — declarative experiment specs, the parallel point runner,
@@ -49,6 +51,7 @@ pub use bbb_cpu as cpu;
 pub use bbb_crashfuzz as crashfuzz;
 pub use bbb_energy as energy;
 pub use bbb_mem as mem;
+pub use bbb_pstore as pstore;
 pub use bbb_runner as runner;
 pub use bbb_sim as sim;
 pub use bbb_workloads as workloads;

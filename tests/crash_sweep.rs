@@ -259,6 +259,69 @@ fn crash_image_matches_destructive_fork_throughout_a_real_run() {
 }
 
 #[test]
+fn crash_image_epoch_memo_is_sound_in_both_battery_states() {
+    // The sweep reuses a crash verdict whenever `crash_image_epoch` is
+    // unchanged, so every durable-state transition — media writes,
+    // battery-backed store-buffer mutations, bbPB drains and cross-core
+    // procPB migrations, cache writebacks under eADR — must bump the
+    // epoch. Differential validation on real conflicting multi-core
+    // runs: pause often, and whenever the epoch equals the memoized one
+    // (tracked separately per battery state, exactly like the sweep's
+    // memo), the freshly taken image must be byte-identical to the
+    // memoized image.
+    use bbb::core::{RunCursor, StopAt, System};
+    use bbb::mem::NvmImage;
+    use bbb::workloads::{make_workload, suite::with_epoch_barriers};
+
+    let (cfg, params) = small();
+    let mut epoch_hits = 0u64;
+    // SwapC shares the whole array across cores — the cross-core
+    // conflicts that drive procPB entry migrations under processor-side
+    // BBB; Hashmap covers the pointer-chasing allocation path.
+    for kind in [WorkloadKind::SwapC, WorkloadKind::Hashmap] {
+        for mode in PersistencyMode::ALL {
+            let mut params = params;
+            params.instrument = mode.requires_flushes();
+            let mut w = make_workload(kind, &cfg, params);
+            if mode.requires_epoch_barriers() {
+                w = with_epoch_barriers(w);
+            }
+            let mut sys = System::new(cfg.clone(), mode).expect("valid config");
+            sys.prepare(w.as_mut());
+            let mut cursor = RunCursor::new(cfg.cores);
+            let mut memo: [Option<(u64, NvmImage)>; 2] = [None, None];
+            let mut at = 150;
+            for _ in 0..40 {
+                let s = sys.run_until(w.as_mut(), &mut cursor, StopAt::Cycle(at));
+                for (i, battery_ok) in [true, false].into_iter().enumerate() {
+                    let epoch = sys.crash_image_epoch(battery_ok);
+                    let image = sys.crash_image(battery_ok);
+                    if let Some((e, img)) = &memo[i] {
+                        if *e == epoch {
+                            epoch_hits += 1;
+                            assert_eq!(
+                                &image, img,
+                                "{kind:?}/{mode}: epoch {epoch} unchanged but the \
+                                 battery_ok={battery_ok} image differs at cycle {at}"
+                            );
+                        }
+                    }
+                    memo[i] = Some((epoch, image));
+                }
+                if s.completed {
+                    break;
+                }
+                at += 150;
+            }
+        }
+    }
+    assert!(
+        epoch_hits > 0,
+        "no pause ever repeated an epoch — the memo path went unexercised"
+    );
+}
+
+#[test]
 fn shrinker_emits_a_complete_regression_test() {
     // Feed the shrinker a battery-dropped failure from a real sweep so
     // the generated source goes through the full path on real data.

@@ -126,6 +126,72 @@ fn traces_replay_clean_through_the_checker() {
 }
 
 #[test]
+fn pstore_commit_path_is_flush_free_under_battery_modes() {
+    // The pstore acceptance claim, proved on the raw event stream: a full
+    // producer/consumer ring run — grants, commits, releases, laps —
+    // retires not one `flush` or `epoch_barrier` event under the
+    // battery-backed modes, while the identical ring code instrumented
+    // for strict PMEM pays both at every commit. The battery trace must
+    // also satisfy the mode's persist-order theorem end to end.
+    use bbb::check::PersistOrderChecker;
+    use bbb::workloads::{make_workload, WorkloadKind, WorkloadParams};
+
+    let cfg = SimConfig::small_for_tests();
+    for mode in [
+        PersistencyMode::BbbMemorySide,
+        PersistencyMode::BbbProcessorSide,
+        PersistencyMode::Eadr,
+        PersistencyMode::Pmem,
+    ] {
+        let mut params = WorkloadParams::smoke();
+        params.instrument = mode.requires_flushes();
+        let mut w = make_workload(WorkloadKind::PstoreLog, &cfg, params);
+        let mut s = System::new(cfg.clone(), mode).unwrap();
+        s.set_tracing(true);
+        s.prepare(w.as_mut());
+        let summary = s.run(w.as_mut(), 1_000_000);
+        assert!(summary.completed, "{mode}: ring run must finish");
+        s.drain_all_store_buffers();
+        let events = s.take_events();
+        let flushes = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Flush { .. }))
+            .count();
+        let barriers = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::EpochBarrier { .. }))
+            .count();
+        let commits = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::StoreCommit {
+                        persistent: true,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(commits > 0, "{mode}: no persisting stores traced");
+        if mode.requires_flushes() {
+            assert!(
+                flushes > 0 && barriers > 0,
+                "{mode}: instrumented commits must flush ({flushes}) and fence ({barriers})"
+            );
+        } else {
+            assert_eq!(
+                (flushes, barriers),
+                (0, 0),
+                "{mode}: the commit path leaked ordering instructions"
+            );
+            let report = PersistOrderChecker::run(mode, cfg.cores, &events);
+            assert!(report.ok(), "{mode}: {:?}", report.witnesses);
+        }
+    }
+}
+
+#[test]
 fn tracing_is_off_by_default_and_drains_on_take() {
     let cfg = SimConfig::small_for_tests();
     let base = AddressMap::new(&cfg).persistent_base();
