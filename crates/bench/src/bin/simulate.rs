@@ -114,6 +114,8 @@ fn main() {
         cfg.bbpb.entries
     ));
 
+    // Perf-timing site: wall time is reported, never fed back into the sim.
+    #[allow(clippy::disallowed_methods)]
     let t0 = std::time::Instant::now();
     let (summary, stats) = if let Some(budget) = crash_at {
         // Crash exploration: run the machine directly so we can take the

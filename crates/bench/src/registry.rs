@@ -183,6 +183,11 @@ pub fn policies() -> &'static [ArtifactPolicy] {
             scale: "smoke",
             regen: "cargo run --release -p bbb-check -- audit --json",
         },
+        ArtifactPolicy {
+            name: "conform",
+            scale: "smoke",
+            regen: "cargo run --release -p bbb-check -- conform --json",
+        },
     ];
     P
 }
@@ -412,6 +417,17 @@ pub fn bands() -> &'static [CellBand] {
             2.0,
             "paper",
         ),
+        // ---- Model-vs-sim conformance: the smoke suite's shape count is
+        // pinned (the generator is deterministic; a drop means shapes were
+        // silently lost) and every mode's sim-shows-forbidden disagreement
+        // count is pinned to exactly zero — soundness, not a tolerance
+        // question.
+        band("conform", 0, "pmem", "shapes", 381.0, 0.0, "smoke"),
+        band("conform", 0, "pmem", "violations", 0.0, 0.0, "smoke"),
+        band("conform", 0, "eadr", "violations", 0.0, 0.0, "smoke"),
+        band("conform", 0, "bbb-mem", "violations", 0.0, 0.0, "smoke"),
+        band("conform", 0, "bbb-proc", "violations", 0.0, 0.0, "smoke"),
+        band("conform", 0, "bep", "violations", 0.0, 0.0, "smoke"),
     ];
     B
 }

@@ -1,0 +1,477 @@
+//! Candidate-execution enumeration and the diy-style litmus generator.
+//!
+//! Two enumerations live here:
+//!
+//! * [`interleavings`] — every merge of the per-core program orders of a
+//!   [`Prog`]. The simulator mutates architectural and persistence state
+//!   in `step_op` call order, so a schedule *is* a TSO-consistent store
+//!   order; the model quantifies over all of them.
+//! * [`generate`] — a bounded, systematic shape generator in the spirit
+//!   of diy/litmus7: every per-core instruction sequence over a small
+//!   alphabet (stores, loads, flushes, fences), pruned of dead
+//!   instructions, assembled into programs, and deduplicated by
+//!   **canonical isomorphism** — two shapes that differ only by core
+//!   order, location names, or store values are the same shape
+//!   ([`canonicalize`]).
+
+use crate::model::{Inst, Loc, Prog};
+
+/// Hard cap on interleavings per program (enumeration is multinomial).
+pub const MAX_INTERLEAVINGS: u128 = 100_000;
+
+/// Most stores a generated program may have (crash-cut enumeration is
+/// `2^stores` per execution).
+pub const MAX_GEN_STORES: usize = 6;
+
+/// Enumerates every interleaving of per-core sequences with the given
+/// lengths, as sequences of core ids.
+///
+/// # Panics
+///
+/// Panics if the multinomial count exceeds [`MAX_INTERLEAVINGS`].
+#[must_use]
+pub fn interleavings(lens: &[usize]) -> Vec<Vec<usize>> {
+    let total: usize = lens.iter().sum();
+    let mut count: u128 = 1;
+    let mut placed = 0usize;
+    for &len in lens {
+        for k in 1..=len {
+            placed += 1;
+            count = count * placed as u128 / k as u128;
+        }
+        assert!(count <= MAX_INTERLEAVINGS, "interleaving space too large");
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    let mut remaining = lens.to_vec();
+    let mut cur = Vec::with_capacity(total);
+    fn rec(remaining: &mut [usize], cur: &mut Vec<usize>, left: usize, out: &mut Vec<Vec<usize>>) {
+        if left == 0 {
+            out.push(cur.clone());
+            return;
+        }
+        for core in 0..remaining.len() {
+            if remaining[core] == 0 {
+                continue;
+            }
+            remaining[core] -= 1;
+            cur.push(core);
+            rec(remaining, cur, left - 1, out);
+            cur.pop();
+            remaining[core] += 1;
+        }
+    }
+    rec(&mut remaining, &mut cur, total, &mut out);
+    out
+}
+
+/// Generator bounds: how large the enumerated shape space is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenBounds {
+    /// Cores per shape (every core runs at least one instruction).
+    pub cores: usize,
+    /// Locations available to the alphabet.
+    pub locs: usize,
+    /// Maximum instructions per core.
+    pub max_insts: usize,
+    /// Cap on canonical shapes kept (an even stride over the sorted
+    /// canonical set, so the selection is deterministic and diverse).
+    pub max_shapes: usize,
+}
+
+impl GenBounds {
+    /// The CI smoke suite: two-core shapes up to 3 instructions plus
+    /// three-core shapes up to 2 (both over two locations), and deep
+    /// single-core shapes — the only band where PMEM's flush→fence axiom
+    /// bites universally (a `St;Fl;F;St` chain needs four instructions on
+    /// one core).
+    #[must_use]
+    pub fn smoke_suite() -> Vec<GenBounds> {
+        vec![
+            GenBounds {
+                cores: 2,
+                locs: 2,
+                max_insts: 3,
+                max_shapes: 288,
+            },
+            GenBounds {
+                cores: 3,
+                locs: 2,
+                max_insts: 2,
+                max_shapes: 96,
+            },
+            GenBounds {
+                cores: 1,
+                locs: 2,
+                max_insts: 5,
+                max_shapes: 64,
+            },
+        ]
+    }
+
+    /// The full suite (manual runs): wider location fan-out, more
+    /// three-core shapes, and deeper single-core chains.
+    #[must_use]
+    pub fn full_suite() -> Vec<GenBounds> {
+        vec![
+            GenBounds {
+                cores: 2,
+                locs: 3,
+                max_insts: 3,
+                max_shapes: 768,
+            },
+            GenBounds {
+                cores: 3,
+                locs: 2,
+                max_insts: 2,
+                max_shapes: 256,
+            },
+            GenBounds {
+                cores: 1,
+                locs: 3,
+                max_insts: 6,
+                max_shapes: 128,
+            },
+        ]
+    }
+}
+
+/// Per-core instruction alphabet for `locs` locations. Store values are
+/// placeholders; [`assign_values`] numbers them canonically.
+fn alphabet(locs: usize) -> Vec<Inst> {
+    let mut a = Vec::with_capacity(3 * locs + 1);
+    for loc in 0..locs {
+        a.push(Inst::St { loc, val: 0 });
+        a.push(Inst::Ld { loc });
+        a.push(Inst::Fl { loc });
+    }
+    a.push(Inst::Fence);
+    a
+}
+
+/// Whether `next` is a live extension of the per-core sequence `seq`.
+/// Dead instructions — a flush of a line this core never wrote, a fence
+/// with no same-core prior store, back-to-back fences or identical
+/// flushes, a second load — are pruned here; they cannot change any
+/// mode's persist order.
+fn extends(seq: &[Inst], next: Inst) -> bool {
+    let stored = |loc: Loc| {
+        seq.iter()
+            .any(|i| matches!(*i, Inst::St { loc: l, .. } if l == loc))
+    };
+    match next {
+        Inst::St { .. } => true,
+        Inst::Ld { .. } => !seq.iter().any(|i| matches!(i, Inst::Ld { .. })),
+        Inst::Fl { loc } => stored(loc) && seq.last() != Some(&Inst::Fl { loc }),
+        Inst::Fence => {
+            seq.iter().any(|i| matches!(i, Inst::St { .. })) && seq.last() != Some(&Inst::Fence)
+        }
+        Inst::Delay { .. } => false,
+    }
+}
+
+/// All live per-core sequences of length `1..=max_insts`.
+fn core_sequences(locs: usize, max_insts: usize) -> Vec<Vec<Inst>> {
+    let alpha = alphabet(locs);
+    let mut out: Vec<Vec<Inst>> = Vec::new();
+    let mut frontier: Vec<Vec<Inst>> = vec![Vec::new()];
+    for _ in 0..max_insts {
+        let mut next_frontier = Vec::new();
+        for seq in &frontier {
+            for &inst in &alpha {
+                if extends(seq, inst) {
+                    let mut s = seq.clone();
+                    s.push(inst);
+                    next_frontier.push(s);
+                }
+            }
+        }
+        out.extend(next_frontier.iter().cloned());
+        frontier = next_frontier;
+    }
+    out
+}
+
+/// Re-numbers store values canonically: per location, 1, 2, ... in
+/// (core, program-order) scan order.
+fn assign_values(prog: &mut Prog) {
+    let locs = prog.num_locs();
+    let mut next = vec![1u64; locs];
+    for core in &mut prog.cores {
+        for inst in core {
+            if let Inst::St { loc, val } = inst {
+                *val = next[*loc];
+                next[*loc] += 1;
+            }
+        }
+    }
+}
+
+/// Relabels locations by first appearance in (core, program-order) scan
+/// order and re-numbers store values.
+fn compact(prog: &Prog) -> Prog {
+    let mut map: Vec<Option<Loc>> = vec![None; prog.num_locs()];
+    let mut next = 0usize;
+    let mut remap = |loc: Loc, map: &mut Vec<Option<Loc>>| {
+        *map[loc].get_or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        })
+    };
+    let cores = prog
+        .cores
+        .iter()
+        .map(|insts| {
+            insts
+                .iter()
+                .map(|i| match *i {
+                    Inst::St { loc, val } => Inst::St {
+                        loc: remap(loc, &mut map),
+                        val,
+                    },
+                    Inst::Ld { loc } => Inst::Ld {
+                        loc: remap(loc, &mut map),
+                    },
+                    Inst::Fl { loc } => Inst::Fl {
+                        loc: remap(loc, &mut map),
+                    },
+                    other => other,
+                })
+                .collect()
+        })
+        .collect();
+    let mut p = Prog { cores };
+    assign_values(&mut p);
+    p
+}
+
+/// All permutations of `0..n` (n ≤ 3 in practice).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for rest in permutations(n - 1) {
+        for pos in 0..=rest.len() {
+            let mut p = rest.clone();
+            p.insert(pos, n - 1);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// The canonical representative of a shape's isomorphism class: the
+/// least (under the derived [`Prog`] ordering) relabeling over all core
+/// permutations, with locations renamed by first appearance and store
+/// values re-numbered per location. Two shapes that differ only by core
+/// order, location names, or store values canonicalize identically.
+#[must_use]
+pub fn canonicalize(prog: &Prog) -> Prog {
+    permutations(prog.num_cores())
+        .into_iter()
+        .map(|perm| {
+            compact(&Prog {
+                cores: perm.iter().map(|&c| prog.cores[c].clone()).collect(),
+            })
+        })
+        .min()
+        .expect("at least the identity permutation")
+}
+
+/// Raw (pre-dedup) shape enumeration: every combination of live
+/// per-core sequences that passes the program-level filters —
+///
+/// * at least two stores, at most [`MAX_GEN_STORES`];
+/// * every load reads a location some *other* core stores
+///   (message-passing flavor; a load of a never-stored or
+///   only-self-stored location cannot observe anything);
+/// * no cross-core **write conflicts**: each location is stored by at
+///   most one core. The simulator's crash paths apply per-core
+///   persistence-domain buffers in core-index order, so conflicting
+///   lines resolve by core id rather than coherence order — a modeled
+///   coherence axiom would disagree with the machine by construction.
+///   Conflicting shapes are excluded here and the divergence is recorded
+///   in DESIGN.md §9's ambiguity ledger.
+#[must_use]
+pub fn enumerate_raw(bounds: &GenBounds) -> Vec<Prog> {
+    let seqs = core_sequences(bounds.locs, bounds.max_insts);
+    let mut out = Vec::new();
+    let mut pick = vec![0usize; bounds.cores];
+    loop {
+        let cores: Vec<Vec<Inst>> = pick.iter().map(|&i| seqs[i].clone()).collect();
+        let stores = cores
+            .iter()
+            .flatten()
+            .filter(|i| matches!(i, Inst::St { .. }))
+            .count();
+        let store_cores = |loc: Loc| {
+            cores
+                .iter()
+                .enumerate()
+                .filter(|(_, insts)| {
+                    insts
+                        .iter()
+                        .any(|j| matches!(*j, Inst::St { loc: l, .. } if l == loc))
+                })
+                .map(|(c, _)| c)
+                .collect::<Vec<_>>()
+        };
+        let no_conflicts = (0..bounds.locs).all(|loc| store_cores(loc).len() <= 1);
+        let loads_ok = cores.iter().enumerate().all(|(c, insts)| {
+            insts.iter().all(|i| match *i {
+                Inst::Ld { loc } => store_cores(loc).iter().any(|&c2| c2 != c),
+                _ => true,
+            })
+        });
+        if (2..=MAX_GEN_STORES).contains(&stores) && no_conflicts && loads_ok {
+            let mut p = Prog { cores };
+            assign_values(&mut p);
+            out.push(p);
+        }
+        // Odometer over the sequence indices.
+        let mut carry = true;
+        for digit in pick.iter_mut().rev() {
+            if carry {
+                *digit += 1;
+                carry = *digit == seqs.len();
+                if carry {
+                    *digit = 0;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    out
+}
+
+/// Deduplicates a raw shape list by canonical isomorphism and caps the
+/// result with an even stride over the sorted canonical set. The output
+/// is independent of the input order.
+#[must_use]
+pub fn dedup_and_cap(raw: &[Prog], max_shapes: usize) -> Vec<Prog> {
+    let set: std::collections::BTreeSet<Prog> = raw.iter().map(canonicalize).collect();
+    let all: Vec<Prog> = set.into_iter().collect();
+    if all.len() <= max_shapes {
+        return all;
+    }
+    (0..max_shapes)
+        .map(|i| all[i * all.len() / max_shapes].clone())
+        .collect()
+}
+
+/// Generates the canonical shape set for one bounds box.
+#[must_use]
+pub fn generate(bounds: &GenBounds) -> Vec<Prog> {
+    dedup_and_cap(&enumerate_raw(bounds), bounds.max_shapes)
+}
+
+/// Generates the union of several bounds boxes (e.g.
+/// [`GenBounds::smoke_suite`]), in box order.
+#[must_use]
+pub fn generate_suite(suite: &[GenBounds]) -> Vec<Prog> {
+    suite.iter().flat_map(generate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbb_sim::SplitMix64;
+
+    fn st(loc: Loc, val: u64) -> Inst {
+        Inst::St { loc, val }
+    }
+
+    #[test]
+    fn interleaving_counts_are_multinomial() {
+        assert_eq!(interleavings(&[2, 2]).len(), 6);
+        assert_eq!(interleavings(&[1, 1, 1]).len(), 6);
+        assert_eq!(interleavings(&[3]).len(), 1);
+        let all = interleavings(&[2, 1]);
+        assert_eq!(all, vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]]);
+    }
+
+    #[test]
+    fn isomorphic_shapes_canonicalize_identically() {
+        // Same shape through a core swap + location rename + value
+        // renumbering.
+        let a = Prog {
+            cores: vec![
+                vec![st(0, 1), st(1, 1)],
+                vec![Inst::Ld { loc: 0 }, st(1, 2)],
+            ],
+        };
+        let b = Prog {
+            cores: vec![
+                vec![Inst::Ld { loc: 1 }, st(0, 7)],
+                vec![st(1, 3), st(0, 9)],
+            ],
+        };
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        for p in generate(&GenBounds {
+            cores: 2,
+            locs: 2,
+            max_insts: 2,
+            max_shapes: usize::MAX,
+        }) {
+            assert_eq!(canonicalize(&p), p);
+        }
+    }
+
+    #[test]
+    fn dedup_is_order_independent() {
+        let bounds = GenBounds {
+            cores: 2,
+            locs: 2,
+            max_insts: 2,
+            max_shapes: 64,
+        };
+        let mut raw = enumerate_raw(&bounds);
+        let reference = dedup_and_cap(&raw, bounds.max_shapes);
+        // Fisher-Yates shuffle of the generation order.
+        let mut rng = SplitMix64::new(0xD150_4DE5);
+        for i in (1..raw.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            raw.swap(i, j);
+        }
+        assert_eq!(dedup_and_cap(&raw, bounds.max_shapes), reference);
+    }
+
+    #[test]
+    fn generated_shapes_respect_bounds() {
+        let bounds = GenBounds {
+            cores: 2,
+            locs: 2,
+            max_insts: 3,
+            max_shapes: 128,
+        };
+        let shapes = generate(&bounds);
+        assert!(shapes.len() <= bounds.max_shapes);
+        assert!(shapes.len() >= 64, "space is rich: got {}", shapes.len());
+        for p in &shapes {
+            assert_eq!(p.num_cores(), bounds.cores);
+            assert!(p.num_locs() <= bounds.locs);
+            assert!(p
+                .cores
+                .iter()
+                .all(|c| (1..=bounds.max_insts).contains(&c.len())));
+            let stores = p.stores().len();
+            assert!((2..=MAX_GEN_STORES).contains(&stores));
+        }
+    }
+
+    #[test]
+    fn smoke_suite_is_large_enough_for_the_gate() {
+        let shapes = generate_suite(&GenBounds::smoke_suite());
+        assert!(shapes.len() >= 200, "suite has {} shapes", shapes.len());
+        // All distinct even across bounds boxes.
+        let set: std::collections::BTreeSet<_> = shapes.iter().collect();
+        assert_eq!(set.len(), shapes.len());
+    }
+}

@@ -17,13 +17,28 @@
 //! the happens-before path that orders them. The [`litmus`] module runs
 //! canonical persistency litmus shapes against all five modes and decides
 //! allowed/forbidden verdicts empirically by sweeping crash points.
+//!
+//! On top of the dynamic checker sits an *axiomatic* side: [`model`]
+//! declares a litmus IR and evaluates Px86-TSO-style persistency axioms
+//! (with per-mode relaxations) over all candidate executions, producing
+//! allowed/forbidden verdict sets with a minimal witness per forbidden
+//! outcome; [`enumerate`] generates litmus shapes diy-style, deduplicated
+//! by canonical isomorphism; and [`conform`] runs the differential — the
+//! model's verdicts against crash-swept simulator executions — flagging
+//! any sim-shows-forbidden outcome as a soundness bug.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod checker;
 mod clock;
+pub mod conform;
+pub mod enumerate;
 pub mod litmus;
+pub mod model;
 
 pub use checker::{CheckReport, PersistOrderChecker, Witness, MAX_WITNESSES};
 pub use clock::VectorClock;
+pub use conform::{run_shape_conform, run_suite, ModeConform, ShapeConform, Violation};
+pub use enumerate::{generate, generate_suite, GenBounds};
+pub use model::{evaluate, Inst, ModelVerdicts, ModelWitness, Outcome, Prog, StoreRef};

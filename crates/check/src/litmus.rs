@@ -1,26 +1,35 @@
 //! Persistency litmus shapes and the crash-sweep engine that evaluates
 //! them.
 //!
-//! Each [`Shape`] is a tiny Px86-style program plus a *forbidden* crash
-//! image predicate (the lost-causality outcome the shape probes for). The
-//! engine runs every shape against every [`PersistencyMode`] twice:
+//! Each [`Shape`] is a tiny Px86-style program in the declarative litmus
+//! IR ([`Prog`]) plus a pinned global schedule and a *forbidden* outcome
+//! (the lost-causality result the shape probes for). The engine runs
+//! every shape against every [`PersistencyMode`] twice:
 //!
-//! 1. **Crash sweep** — one fresh machine per prefix of the op sequence,
-//!    crashed after the prefix; the forbidden predicate is evaluated on
-//!    every image. An observation decides the *allowed/forbidden* verdict
-//!    empirically.
+//! 1. **Crash sweep** — one fresh machine per prefix of the compiled op
+//!    sequence, crashed after the prefix; the forbidden outcome is
+//!    checked against every image. An observation decides the
+//!    *allowed/forbidden* verdict empirically.
 //! 2. **Checker pass** — one traced full run through
 //!    [`PersistOrderChecker`], which must report zero violations for the
 //!    battery modes and at least one witness where the shape deliberately
 //!    breaks a software discipline (flush-stripped PMEM, barrier-stripped
 //!    BEP).
+//!
+//! The same [`Prog`] also feeds the axiomatic side ([`crate::model`]):
+//! the single-core shapes must reproduce this table's verdicts exactly,
+//! and every swept image must be model-allowed. The cross-core `mp`
+//! shapes are the one deliberate divergence: their verdicts here are
+//! *schedule-pinned* (the producer's store is scheduled first), while
+//! the model quantifies over every interleaving and so allows what the
+//! pinned schedule forbids — see DESIGN.md's ambiguity ledger.
 
 use bbb_core::{PersistencyMode, System};
-use bbb_cpu::Op;
 use bbb_mem::NvmImage;
 use bbb_sim::{AddressMap, SimConfig};
 
 use crate::checker::{CheckReport, PersistOrderChecker};
+use crate::model::{Inst, Loc, Prog};
 
 /// Byte offsets (from the persistent heap base) of the locations the
 /// shapes use. All in distinct cache blocks.
@@ -79,111 +88,80 @@ const fn forbidden() -> Expect {
     }
 }
 
-/// One litmus program: ops in global execution order (per-core local
-/// clocks make this a legal interleaving), the forbidden image predicate,
-/// and the per-mode expectation.
+/// One litmus cell: a declarative IR program, the pinned global schedule
+/// it is swept under (per-core local clocks make any interleaving legal),
+/// the loc→offset map, the forbidden outcome, and the per-mode
+/// expectation.
 pub struct Shape {
     /// Short name (table row key).
     pub name: &'static str,
     /// One-line description.
     pub desc: &'static str,
-    /// Builds the op sequence for a heap based at `base`.
-    pub build: fn(u64) -> Vec<(usize, Op)>,
-    /// True when the crash image shows the forbidden outcome.
-    pub forbidden: fn(&NvmImage, u64) -> bool,
+    /// The program, in the shared litmus IR.
+    pub prog: Prog,
+    /// Global schedule: core ids, each consuming that core's next
+    /// instruction. Pinned so the empirical verdicts are reproducible.
+    pub schedule: Vec<usize>,
+    /// Byte offset of each location from the persistent heap base.
+    pub offsets: &'static [u64],
+    /// The forbidden outcome, as `(loc, value)` conjuncts over the crash
+    /// image (0 = never persisted).
+    pub forbidden_outcome: &'static [(Loc, u64)],
     /// Expected verdict and witness requirement under `mode`.
     pub expect: fn(PersistencyMode) -> Expect,
 }
 
-fn ss_build(b: u64) -> Vec<(usize, Op)> {
-    vec![(0, Op::store_u64(b + X, 1)), (0, Op::store_u64(b + Y, 1))]
+impl Shape {
+    /// True when `img` shows the forbidden outcome.
+    #[must_use]
+    pub fn shows_forbidden(&self, img: &NvmImage, base: u64) -> bool {
+        self.forbidden_outcome
+            .iter()
+            .all(|&(loc, val)| img.read_u64(base + self.offsets[loc]) == val)
+    }
 }
 
-fn ss_clwb_build(b: u64) -> Vec<(usize, Op)> {
+/// `x`/`y` locations of the same-core store-pair shapes.
+const XY_OFFSETS: &[u64] = &[X, Y];
+/// The younger store persisted, the older lost.
+const XY_FORBIDDEN: &[(Loc, u64)] = &[(1, 1), (0, 0)];
+
+/// `data`/`flag`/pad locations of the message-passing shapes.
+const MP_OFFSETS: &[u64] = &[DATA, FLAG, PAD2, PAD3, PAD4];
+/// The flag persisted but the data it published was lost.
+const MP_FORBIDDEN: &[(Loc, u64)] = &[(1, 1), (0, 0)];
+
+/// Consumer core of the message-passing shapes: wait, read the data,
+/// publish a flag, then pad with enough stores to fill a small persist
+/// buffer so its capacity drain burst pushes the flag to NVMM.
+fn mp_consumer() -> Vec<Inst> {
     vec![
-        (0, Op::store_u64(b + X, 1)),
-        (0, Op::store_u64(b + Y, 1)),
-        (0, Op::Clwb { addr: b + Y }),
-        (0, Op::Fence),
+        Inst::Delay { cycles: 3000 },
+        Inst::Ld { loc: 0 },
+        Inst::St { loc: 1, val: 1 },
+        Inst::St { loc: 2, val: 1 },
+        Inst::St { loc: 3, val: 1 },
+        Inst::St { loc: 4, val: 1 },
+        Inst::Delay { cycles: 6000 },
+        Inst::Delay { cycles: 2000 },
+        Inst::Delay { cycles: 2000 },
+        Inst::Delay { cycles: 2000 },
     ]
 }
 
-fn sfs_build(b: u64) -> Vec<(usize, Op)> {
-    vec![
-        (0, Op::store_u64(b + X, 1)),
-        (0, Op::Clwb { addr: b + X }),
-        (0, Op::Fence),
-        (0, Op::store_u64(b + Y, 1)),
-        (0, Op::Clwb { addr: b + Y }),
-        (0, Op::Fence),
-    ]
+/// The producer-first schedule both mp shapes pin: every producer op,
+/// then every consumer op (the sim's per-core clocks and the delays
+/// provide the actual concurrency).
+fn mp_schedule(producer_len: usize) -> Vec<usize> {
+    let mut s = vec![0; producer_len];
+    s.extend(std::iter::repeat_n(1, mp_consumer().len()));
+    s
 }
 
-fn epoch_build(b: u64) -> Vec<(usize, Op)> {
-    vec![
-        (0, Op::store_u64(b + X, 1)),
-        (0, Op::Fence),
-        (0, Op::store_u64(b + Y, 1)),
-    ]
-}
-
-fn xy_forbidden(img: &NvmImage, b: u64) -> bool {
-    img.read_u64(b + Y) == 1 && img.read_u64(b + X) == 0
-}
-
-/// Consumer half of the message-passing shapes: read the data, publish a
-/// flag, then pad with enough stores to fill a small persist buffer so its
-/// capacity drain burst pushes the flag to NVMM.
-fn mp_consumer() -> Vec<(usize, Op)> {
-    vec![
-        (1, Op::Compute { cycles: 3000 }),
-        (1, Op::load_u64(0)), // placeholder, patched by caller
-        (1, Op::store_u64(0, 0)),
-        (1, Op::store_u64(0, 0)),
-        (1, Op::store_u64(0, 0)),
-        (1, Op::store_u64(0, 0)),
-        (1, Op::Compute { cycles: 6000 }),
-        (1, Op::Compute { cycles: 2000 }),
-        (1, Op::Compute { cycles: 2000 }),
-        (1, Op::Compute { cycles: 2000 }),
-    ]
-}
-
-fn mp_build_with(b: u64, producer: Vec<(usize, Op)>) -> Vec<(usize, Op)> {
-    let mut ops = producer;
-    let mut consumer = mp_consumer();
-    consumer[1].1 = Op::load_u64(b + DATA);
-    consumer[2].1 = Op::store_u64(b + FLAG, 1);
-    consumer[3].1 = Op::store_u64(b + PAD2, 1);
-    consumer[4].1 = Op::store_u64(b + PAD3, 1);
-    consumer[5].1 = Op::store_u64(b + PAD4, 1);
-    ops.extend(consumer);
-    ops
-}
-
-fn mp_build(b: u64) -> Vec<(usize, Op)> {
-    mp_build_with(
-        b,
-        vec![
-            (0, Op::store_u64(b + DATA, 0xD0_0D)),
-            (0, Op::Compute { cycles: 9000 }),
-        ],
-    )
-}
-
-fn mp_barrier_build(b: u64) -> Vec<(usize, Op)> {
-    mp_build_with(
-        b,
-        vec![
-            (0, Op::store_u64(b + DATA, 0xD0_0D)),
-            (0, Op::Fence),
-            (0, Op::Compute { cycles: 9000 }),
-        ],
-    )
-}
-
-fn mp_forbidden(img: &NvmImage, b: u64) -> bool {
-    img.read_u64(b + FLAG) == 1 && img.read_u64(b + DATA) == 0
+/// A single-core program under the sequential schedule.
+fn single(insts: Vec<Inst>) -> (Prog, Vec<usize>) {
+    let schedule = vec![0; insts.len()];
+    (Prog { cores: vec![insts] }, schedule)
 }
 
 /// The canonical shape set: same-core store pairs under the three software
@@ -191,12 +169,62 @@ fn mp_forbidden(img: &NvmImage, b: u64) -> bool {
 /// barrier.
 #[must_use]
 pub fn shapes() -> Vec<Shape> {
+    let (ss, ss_sched) = single(vec![
+        Inst::St { loc: 0, val: 1 },
+        Inst::St { loc: 1, val: 1 },
+    ]);
+    let (ss_clwb, ss_clwb_sched) = single(vec![
+        Inst::St { loc: 0, val: 1 },
+        Inst::St { loc: 1, val: 1 },
+        Inst::Fl { loc: 1 },
+        Inst::Fence,
+    ]);
+    let (sfs, sfs_sched) = single(vec![
+        Inst::St { loc: 0, val: 1 },
+        Inst::Fl { loc: 0 },
+        Inst::Fence,
+        Inst::St { loc: 1, val: 1 },
+        Inst::Fl { loc: 1 },
+        Inst::Fence,
+    ]);
+    let (epoch, epoch_sched) = single(vec![
+        Inst::St { loc: 0, val: 1 },
+        Inst::Fence,
+        Inst::St { loc: 1, val: 1 },
+    ]);
+    let mp = Prog {
+        cores: vec![
+            vec![
+                Inst::St {
+                    loc: 0,
+                    val: 0xD0_0D,
+                },
+                Inst::Delay { cycles: 9000 },
+            ],
+            mp_consumer(),
+        ],
+    };
+    let mp_barrier = Prog {
+        cores: vec![
+            vec![
+                Inst::St {
+                    loc: 0,
+                    val: 0xD0_0D,
+                },
+                Inst::Fence,
+                Inst::Delay { cycles: 9000 },
+            ],
+            mp_consumer(),
+        ],
+    };
     vec![
         Shape {
             name: "ss",
             desc: "st x; st y (no flushes)",
-            build: ss_build,
-            forbidden: xy_forbidden,
+            prog: ss,
+            schedule: ss_sched,
+            offsets: XY_OFFSETS,
+            forbidden_outcome: XY_FORBIDDEN,
             expect: |m| match m {
                 PersistencyMode::Pmem | PersistencyMode::Bep => allowed(false),
                 _ => forbidden(),
@@ -205,8 +233,10 @@ pub fn shapes() -> Vec<Shape> {
         Shape {
             name: "ss+clwb_y",
             desc: "st x; st y; clwb y; sfence (flush-stripped PMEM, paper Fig. 2)",
-            build: ss_clwb_build,
-            forbidden: xy_forbidden,
+            prog: ss_clwb,
+            schedule: ss_clwb_sched,
+            offsets: XY_OFFSETS,
+            forbidden_outcome: XY_FORBIDDEN,
             expect: |m| match m {
                 // The younger store is flushed, the older is not: strict
                 // PMEM must flag the persist-order inversion.
@@ -219,15 +249,19 @@ pub fn shapes() -> Vec<Shape> {
         Shape {
             name: "s+f+s",
             desc: "st x; clwb x; sfence; st y; clwb y; sfence (full discipline)",
-            build: sfs_build,
-            forbidden: xy_forbidden,
+            prog: sfs,
+            schedule: sfs_sched,
+            offsets: XY_OFFSETS,
+            forbidden_outcome: XY_FORBIDDEN,
             expect: |_| forbidden(),
         },
         Shape {
             name: "epoch",
             desc: "st x; sfence; st y (epoch barrier, no flushes)",
-            build: epoch_build,
-            forbidden: xy_forbidden,
+            prog: epoch,
+            schedule: epoch_sched,
+            offsets: XY_OFFSETS,
+            forbidden_outcome: XY_FORBIDDEN,
             expect: |m| match m {
                 PersistencyMode::Pmem => allowed(false),
                 _ => forbidden(),
@@ -236,8 +270,10 @@ pub fn shapes() -> Vec<Shape> {
         Shape {
             name: "mp",
             desc: "c0: st data | c1: ld data; st flag; pads (barrier-stripped BEP)",
-            build: mp_build,
-            forbidden: mp_forbidden,
+            schedule: mp_schedule(mp.cores[0].len()),
+            prog: mp,
+            offsets: MP_OFFSETS,
+            forbidden_outcome: MP_FORBIDDEN,
             expect: |m| match m {
                 PersistencyMode::Pmem => allowed(false),
                 // The flag reaches NVMM through the volatile buffer's
@@ -250,8 +286,10 @@ pub fn shapes() -> Vec<Shape> {
         Shape {
             name: "mp+barrier",
             desc: "c0: st data; sfence | c1: ld data; st flag; pads (proper BEP)",
-            build: mp_barrier_build,
-            forbidden: mp_forbidden,
+            schedule: mp_schedule(mp_barrier.cores[0].len()),
+            prog: mp_barrier,
+            offsets: MP_OFFSETS,
+            forbidden_outcome: MP_FORBIDDEN,
             expect: |m| match m {
                 PersistencyMode::Pmem => allowed(false),
                 _ => forbidden(),
@@ -325,7 +363,7 @@ pub fn litmus_config() -> SimConfig {
 pub fn run_shape(shape: &Shape, mode: PersistencyMode) -> LitmusRow {
     let cfg = litmus_config();
     let base = AddressMap::new(&cfg).persistent_base();
-    let ops = (shape.build)(base);
+    let ops = shape.prog.compile(&shape.schedule, shape.offsets, base);
 
     let mut observed = 0usize;
     let mut first_observed = None;
@@ -335,7 +373,7 @@ pub fn run_shape(shape: &Shape, mode: PersistencyMode) -> LitmusRow {
             sys.step_op(*core, op);
         }
         let img = sys.crash_now();
-        if (shape.forbidden)(&img, base) {
+        if shape.shows_forbidden(&img, base) {
             observed += 1;
             first_observed.get_or_insert(k);
         }
@@ -431,6 +469,64 @@ mod tests {
             "witness carries the happens-before path: {:?}",
             w.path
         );
+    }
+
+    #[test]
+    fn single_core_shapes_reproduce_the_model_verdicts() {
+        // The four same-core shapes' PR-3 verdict table must fall out of
+        // the axiomatic model exactly: single-core τ order is program
+        // order in every interleaving, so the empirical schedule loses
+        // no generality.
+        for shape in shapes().iter().filter(|s| s.prog.num_cores() == 1) {
+            for mode in PersistencyMode::ALL {
+                let verdicts = crate::model::evaluate(&shape.prog, mode);
+                let mut outcome = vec![0u64; shape.prog.num_locs()];
+                for &(loc, val) in shape.forbidden_outcome {
+                    outcome[loc] = val;
+                }
+                let model_forbids = verdicts.forbidden.contains_key(&outcome);
+                let table_forbids = (shape.expect)(mode).verdict == Verdict::Forbidden;
+                assert_eq!(
+                    model_forbids,
+                    table_forbids,
+                    "{} under {}: model and verdict table disagree",
+                    shape.name,
+                    mode_label(mode)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_swept_image_is_model_allowed() {
+        // Soundness over the legacy shapes, mp included: each image of
+        // the pinned-schedule sweep must land in the model's allowed set
+        // (the converse does not hold — the model quantifies over every
+        // interleaving, the sweep pins one).
+        let cfg = litmus_config();
+        let base = AddressMap::new(&cfg).persistent_base();
+        for shape in &shapes() {
+            let ops = shape.prog.compile(&shape.schedule, shape.offsets, base);
+            for mode in PersistencyMode::ALL {
+                let verdicts = crate::model::evaluate(&shape.prog, mode);
+                for k in 0..=ops.len() {
+                    let mut sys = System::new(cfg.clone(), mode).expect("litmus config");
+                    for (core, op) in &ops[..k] {
+                        sys.step_op(*core, op);
+                    }
+                    let img = sys.crash_now();
+                    let outcome: Vec<u64> = (0..shape.prog.num_locs())
+                        .map(|l| img.read_u64(base + shape.offsets[l]))
+                        .collect();
+                    assert!(
+                        verdicts.allowed.contains(&outcome),
+                        "{} under {} after {k} ops: sim outcome {outcome:?} is model-forbidden",
+                        shape.name,
+                        mode_label(mode)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,16 +1,21 @@
 //! `bbb-check` — persist-order checking from the command line.
 //!
 //! ```text
-//! bbb-check litmus [--json]
-//! bbb-check audit  [--json]
+//! bbb-check litmus  [--json]
+//! bbb-check audit   [--json]
+//! bbb-check conform [--json] [--full]
 //!
-//!   litmus  run the persistency litmus shapes against all five modes and
-//!           print the allowed/forbidden verdict table
-//!   audit   replay traced smoke-grid workloads through the checker:
-//!           battery modes must verify PoV = PoP with zero violations;
-//!           deliberately-broken disciplines (flush-stripped PMEM,
-//!           barrier-stripped BEP) must each yield at least one witness
-//!   --json  also write BENCH_<cmd>.json (or set BBB_JSON=1)
+//!   litmus   run the persistency litmus shapes against all five modes and
+//!            print the allowed/forbidden verdict table
+//!   audit    replay traced smoke-grid workloads through the checker:
+//!            battery modes must verify PoV = PoP with zero violations;
+//!            deliberately-broken disciplines (flush-stripped PMEM,
+//!            barrier-stripped BEP) must each yield at least one witness
+//!   conform  generate litmus shapes, evaluate the axiomatic model under
+//!            every mode, crash-sweep each shape on the simulator, and
+//!            fail on any sim-shows-forbidden disagreement
+//!   --full   conform only: the larger generator bounds
+//!   --json   also write BENCH_<cmd>.json (or set BBB_JSON=1)
 //! ```
 //!
 //! Exit status is non-zero when any expectation fails.
@@ -18,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use bbb_check::conform::run_suite;
+use bbb_check::enumerate::{generate_suite, GenBounds};
 use bbb_check::litmus::{mode_label, run_all, run_shape, shapes};
 use bbb_check::{CheckReport, PersistOrderChecker};
 use bbb_core::{PersistencyMode, System};
@@ -26,23 +33,26 @@ use bbb_sim::{SimConfig, Table};
 use bbb_workloads::{make_workload, WorkloadKind, WorkloadParams};
 
 fn usage() -> ! {
-    eprintln!("usage: bbb-check <litmus|audit> [--json]");
+    eprintln!("usage: bbb-check <litmus|audit|conform> [--json] [--full]");
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
+    let mut full = false;
     for a in &args {
         match a.as_str() {
-            "litmus" | "audit" if cmd.is_none() => cmd = Some(a.clone()),
+            "litmus" | "audit" | "conform" if cmd.is_none() => cmd = Some(a.clone()),
             "--json" => {} // consumed by json_requested()
+            "--full" => full = true,
             _ => usage(),
         }
     }
     let failed = match cmd.as_deref() {
         Some("litmus") => litmus_cmd(),
         Some("audit") => audit_cmd(),
+        Some("conform") => conform_cmd(full),
         _ => usage(),
     };
     std::process::exit(i32::from(failed));
@@ -301,4 +311,137 @@ fn audit_cmd() -> bool {
         }
     }
     failed
+}
+
+fn conform_cmd(full: bool) -> bool {
+    let suite = if full {
+        GenBounds::full_suite()
+    } else {
+        GenBounds::smoke_suite()
+    };
+    let progs = generate_suite(&suite);
+    let results = run_suite(&progs);
+
+    let mut report = Report::with_json("conform", json_requested());
+    report.meta_scale_name(if full { "full" } else { "smoke" });
+    report.meta("shapes", progs.len());
+    report.meta("modes", PersistencyMode::ALL.len());
+
+    // Aggregate the per-shape cells into one row per mode.
+    let mut table = Table::new(
+        "Model vs. simulator conformance",
+        &[
+            "mode",
+            "shapes",
+            "executions",
+            "allowed",
+            "forbidden",
+            "universal",
+            "observed",
+            "covered",
+            "points",
+            "violations",
+            "status",
+        ],
+    );
+    let mut total_violations = 0usize;
+    let mut unwitnessed = 0usize;
+    let mut total_points = 0usize;
+    for (mi, mode) in PersistencyMode::ALL.into_iter().enumerate() {
+        let cells = results.iter().map(|r| &r.per_mode[mi]);
+        let executions: usize = cells.clone().map(|m| m.executions).sum();
+        let allowed: usize = cells.clone().map(|m| m.allowed).sum();
+        let forbidden: usize = cells.clone().map(|m| m.forbidden).sum();
+        let universal: usize = cells.clone().map(|m| m.universal).sum();
+        let observed: usize = cells.clone().map(|m| m.observed).sum();
+        let covered: usize = cells.clone().map(|m| m.covered).sum();
+        let points: usize = cells.clone().map(|m| m.crash_points).sum();
+        let violations: usize = cells.clone().map(|m| m.violations.len()).sum();
+        total_violations += violations;
+        // Every forbidden outcome must carry a witness; `universal`
+        // counts the stronger all-executions kind.
+        unwitnessed += cells
+            .clone()
+            .map(|m| m.forbidden - m.witnessed)
+            .sum::<usize>();
+        total_points += points;
+        table.row_owned(vec![
+            mode_label(mode).to_owned(),
+            results.len().to_string(),
+            executions.to_string(),
+            allowed.to_string(),
+            forbidden.to_string(),
+            universal.to_string(),
+            observed.to_string(),
+            covered.to_string(),
+            points.to_string(),
+            violations.to_string(),
+            if violations == 0 { "ok" } else { "FAILED" }.to_owned(),
+        ]);
+    }
+    report.table(table);
+
+    // Disagreement table: empty on a conforming build, and the artifact
+    // CI uploads when the gate trips.
+    if total_violations > 0 {
+        let mut diff = Table::new(
+            "Sim-shows-forbidden disagreements",
+            &["shape", "mode", "outcome", "provenance", "witness"],
+        );
+        for r in &results {
+            for m in &r.per_mode {
+                for v in &m.violations {
+                    diff.row_owned(vec![
+                        r.shape.clone(),
+                        mode_label(m.mode).to_owned(),
+                        v.outcome_str.clone(),
+                        v.provenance.clone(),
+                        v.witness.clone(),
+                    ]);
+                }
+            }
+        }
+        report.table(diff);
+    }
+
+    report.meta("crash_points", total_points);
+    report.meta("violations", total_violations);
+    report.meta("forbidden_without_witness", unwitnessed);
+    report.note(format!(
+        "{} shapes x {} modes, {} crash images: {} sim-shows-forbidden disagreement(s)",
+        progs.len(),
+        PersistencyMode::ALL.len(),
+        total_points,
+        total_violations
+    ));
+    report.emit().expect("report written");
+
+    // A few sample witnesses so forbidden verdicts are concrete.
+    let samples = results
+        .iter()
+        .flat_map(|r| r.per_mode.iter().map(move |m| (r, m)))
+        .filter_map(|(r, m)| {
+            m.sample_witness
+                .as_ref()
+                .map(|w| (r.shape.clone(), m.mode, w.clone()))
+        })
+        .take(3);
+    for (shape, mode, w) in samples {
+        println!("\nwitness ({shape} under {}): {w}", mode_label(mode));
+    }
+    for r in &results {
+        for m in &r.per_mode {
+            for v in &m.violations {
+                eprintln!(
+                    "\nDISAGREEMENT {} under {}: sim produced {} ({}), model forbids it:\n  {}",
+                    r.shape,
+                    mode_label(m.mode),
+                    v.outcome_str,
+                    v.provenance,
+                    v.witness
+                );
+            }
+        }
+    }
+    total_violations > 0 || unwitnessed > 0
 }

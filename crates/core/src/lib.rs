@@ -41,6 +41,7 @@
 
 pub mod bbpb;
 pub mod crash;
+pub mod litmus;
 pub mod memories;
 pub mod mode;
 pub mod persist;
@@ -55,6 +56,7 @@ pub use bbb_cpu::Op;
 pub use bbb_mem::{ByteStore, NvmImage, PAGE_BYTES};
 pub use bbpb::{AllocOutcome, Bbpb};
 pub use crash::CrashCost;
+pub use litmus::ScheduledOps;
 pub use memories::Memories;
 pub use mode::PersistencyMode;
 pub use persist::PersistState;

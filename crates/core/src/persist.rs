@@ -275,7 +275,12 @@ impl PersistState {
                 check(block);
             }
         }
-        for &block in self.holder_index.keys() {
+        // Sorted so a divergence always reports the lowest block — the
+        // hash map's iteration order must never leak into a panic message
+        // (or any other output).
+        let mut indexed: Vec<BlockAddr> = self.holder_index.keys().copied().collect();
+        indexed.sort_unstable();
+        for block in indexed {
             check(block);
         }
     }

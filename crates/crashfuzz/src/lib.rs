@@ -37,10 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conform;
 pub mod grid;
 pub mod shrink;
 pub mod sweep;
 
+pub use conform::schedule_images;
 pub use grid::{plan_points, GridSpec, CRASHFUZZ_SEED};
 pub use shrink::{shrink, test_source, Reproducer};
 pub use sweep::{

@@ -113,6 +113,8 @@ fn main() {
     // in plan order, so the table below is bit-identical to a serial
     // sweep at any `BBB_THREADS`.
     let runner = Runner::from_env();
+    // Perf-timing site: wall time is reported, never fed back into the sim.
+    #[allow(clippy::disallowed_methods)]
     let wall = Instant::now();
     let shards_per_pair = runner.threads();
     let shard_sets: Vec<Vec<SweepShard>> =
