@@ -41,11 +41,13 @@
 
 pub mod bbpb;
 pub mod crash;
+mod latency;
 pub mod litmus;
 pub mod memories;
 pub mod mode;
 pub mod persist;
 pub mod procside;
+pub mod stream;
 pub mod system;
 pub mod workload;
 
@@ -61,5 +63,6 @@ pub use memories::Memories;
 pub use mode::PersistencyMode;
 pub use persist::PersistState;
 pub use procside::ProcSidePb;
+pub use stream::{OpStream, StreamWorkload};
 pub use system::{EventProbe, RunCursor, RunSummary, StopAt, System, SystemError};
 pub use workload::Workload;

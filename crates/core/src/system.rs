@@ -29,9 +29,11 @@ use bbb_sim::{
 };
 
 use crate::crash::CrashCost;
+use crate::latency::PersistLatencyTracker;
 use crate::memories::Memories;
 use crate::mode::PersistencyMode;
 use crate::persist::PersistState;
+use crate::stream::OpStream;
 use crate::workload::Workload;
 
 /// Errors from building or driving a [`System`].
@@ -153,6 +155,27 @@ enum ProbeKind {
     PersistingStores,
 }
 
+/// The op source driving a run: batch workloads refill the cursor's
+/// per-core queues, pull-based streams hand the scheduler one op at a
+/// time with no intermediate buffer.
+enum Feed<'a> {
+    /// Batch interface: `next_batch` vectors queued per core.
+    Batch(&'a mut dyn Workload),
+    /// Pull interface: `next_op`, zero queueing.
+    Stream(&'a mut dyn OpStream),
+}
+
+/// Why a compute batch-retire fold returned to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FoldOutcome {
+    /// The stop condition fired on one of the folded ops.
+    Stopped,
+    /// Another core's event became due mid-fold.
+    Yielded,
+    /// The queue's run of compute ops ended; keep stepping this core.
+    RanDry,
+}
+
 /// Monotone event counters sampled between ops — the cheap signal a
 /// crash-point planner uses to place boundary points straddling epoch
 /// barriers, forced bbPB drains, and WPQ backpressure stalls, without
@@ -191,6 +214,9 @@ pub struct System {
     /// Per-kind event counts and simulated-cycle attribution (see
     /// [`EventKind`]); exported under `sched.*` by [`System::stats`].
     profile: SchedProfile,
+    /// Commit→point-of-persistence latency per persisting store; exported
+    /// under `persist.latency.*` by [`System::stats`].
+    persist_lat: PersistLatencyTracker,
     /// Ops committed since the last periodic debug audit.
     audit_countdown: u32,
 }
@@ -235,6 +261,7 @@ impl System {
         let cores = (0..cfg.cores)
             .map(|i| CoreState::new(i, cfg.core.store_buffer_entries))
             .collect();
+        let persist_lat = PersistLatencyTracker::new(mode, cfg.battery_backed_sb, cfg.cores);
         Ok(Self {
             cfg,
             hierarchy,
@@ -245,6 +272,7 @@ impl System {
             now_max: 0,
             trace: TraceLog::default(),
             profile: SchedProfile::default(),
+            persist_lat,
             audit_countdown: 0,
         })
     }
@@ -347,6 +375,12 @@ impl System {
         self.sync_media_from_arch();
     }
 
+    /// [`System::prepare`] for pull-based op streams.
+    pub fn prepare_stream(&mut self, stream: &mut dyn OpStream) {
+        stream.setup(&mut self.arch);
+        self.sync_media_from_arch();
+    }
+
     /// Copies every materialized architectural-memory page into the
     /// backing media without consuming simulated time.
     pub fn sync_media_from_arch(&mut self) {
@@ -423,7 +457,56 @@ impl System {
         cursor: &mut RunCursor,
         stop: StopAt,
     ) -> RunSummary {
-        self.run_inner(workload, cursor, stop, None)
+        self.run_inner(Feed::Batch(workload), cursor, stop, None)
+    }
+
+    /// [`System::run`] for a pull-based [`OpStream`]: drives the stream to
+    /// completion or until `op_budget` total ops have committed, pulling
+    /// exactly one op at a time — no per-request `Vec` is ever built, so
+    /// the run's memory footprint is the generator's live state alone.
+    pub fn run_stream(&mut self, stream: &mut dyn OpStream, op_budget: u64) -> RunSummary {
+        let mut cursor = RunCursor::new(self.cores.len());
+        let summary = self.run_stream_until(stream, &mut cursor, StopAt::Ops(op_budget));
+        for c in 0..self.cores.len() {
+            let t = self.cores[c].ready_at;
+            self.pump_sb(c, t);
+        }
+        RunSummary {
+            cycles: self.now_max,
+            ..summary
+        }
+    }
+
+    /// [`System::run_until`] for a pull-based [`OpStream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor was built for a different core count.
+    pub fn run_stream_until(
+        &mut self,
+        stream: &mut dyn OpStream,
+        cursor: &mut RunCursor,
+        stop: StopAt,
+    ) -> RunSummary {
+        self.run_inner(Feed::Stream(stream), cursor, stop, None)
+    }
+
+    /// [`System::run_probed`] for a pull-based [`OpStream`]: records the
+    /// cycle at which the monotone [`EventProbe`] counters first changed
+    /// after each committed op — the crash-point planner signal, fed
+    /// directly from a stream.
+    pub fn run_stream_probed(
+        &mut self,
+        stream: &mut dyn OpStream,
+        cursor: &mut RunCursor,
+        event_cycles: &mut Vec<Cycle>,
+    ) -> RunSummary {
+        self.run_inner(
+            Feed::Stream(stream),
+            cursor,
+            StopAt::End,
+            Some((event_cycles, ProbeKind::Ordering)),
+        )
     }
 
     /// Runs the workload to completion while recording, after each
@@ -439,7 +522,7 @@ impl System {
         event_cycles: &mut Vec<Cycle>,
     ) -> RunSummary {
         self.run_inner(
-            workload,
+            Feed::Batch(workload),
             cursor,
             StopAt::End,
             Some((event_cycles, ProbeKind::Ordering)),
@@ -460,7 +543,7 @@ impl System {
         event_cycles: &mut Vec<Cycle>,
     ) -> RunSummary {
         self.run_inner(
-            workload,
+            Feed::Batch(workload),
             cursor,
             StopAt::End,
             Some((event_cycles, ProbeKind::PersistingStores)),
@@ -469,7 +552,7 @@ impl System {
 
     fn run_inner(
         &mut self,
-        workload: &mut dyn Workload,
+        mut feed: Feed<'_>,
         cursor: &mut RunCursor,
         stop: StopAt,
         mut probe: Option<(&mut Vec<Cycle>, ProbeKind)>,
@@ -540,20 +623,62 @@ impl System {
             // `(ready_at, core)` against the heap root reproduces the pop
             // order (cycle, then lowest core index) exactly.
             loop {
-                if cursor.queues[core].is_empty() {
-                    match workload.next_batch(core, &mut self.arch) {
-                        Some(batch) => cursor.queues[core].extend(batch),
-                        None => {
-                            cursor.active[core] = false;
-                            continue 'sched; // stream ended: drop the core's event
+                let op = match cursor.queues[core].pop_front() {
+                    Some(op) => op,
+                    None => match feed {
+                        Feed::Batch(ref mut workload) => {
+                            match workload.next_batch(core, &mut self.arch) {
+                                Some(batch) => cursor.queues[core].extend(batch),
+                                None => {
+                                    cursor.active[core] = false;
+                                    continue 'sched; // stream ended: drop the core's event
+                                }
+                            }
+                            match cursor.queues[core].pop_front() {
+                                Some(op) => op,
+                                None => {
+                                    cursor.events.push(self.cores[core].ready_at, core);
+                                    continue 'sched;
+                                }
+                            }
+                        }
+                        // Streams bypass the queue entirely: one op pulled,
+                        // one op stepped — no per-request buffer exists.
+                        Feed::Stream(ref mut stream) => {
+                            match stream.next_op(core, &mut self.arch) {
+                                Some(op) => op,
+                                None => {
+                                    cursor.active[core] = false;
+                                    continue 'sched;
+                                }
+                            }
+                        }
+                    },
+                };
+                // Batch-retire fast path: fold a run of consecutive queued
+                // pure-compute ops into one scheduler event. Each folded op
+                // replays step_op's Compute semantics exactly — per-op SB
+                // pump at the advancing clock, per-op stop check, per-op
+                // yield check against the heap root — so the fold commits
+                // precisely the ops the unfolded loop would have before
+                // yielding, at identical cycles, with identical SB/WPQ/bbPB
+                // side effects. Disabled under a probe: probed runs must
+                // sample boundary state between every op.
+                if probe.is_none() {
+                    if let Op::Compute { cycles } = op {
+                        match self.fold_computes(core, cycles, cursor, stop) {
+                            FoldOutcome::Stopped => {
+                                cursor.events.push(self.cores[core].ready_at, core);
+                                break 'sched;
+                            }
+                            FoldOutcome::Yielded => {
+                                cursor.events.push(self.cores[core].ready_at, core);
+                                continue 'sched;
+                            }
+                            FoldOutcome::RanDry => continue,
                         }
                     }
-                    if cursor.queues[core].is_empty() {
-                        cursor.events.push(self.cores[core].ready_at, core);
-                        continue 'sched;
-                    }
                 }
-                let op = cursor.queues[core].pop_front().expect("non-empty queue");
                 self.step_op(core, &op);
                 cursor.ops += 1;
                 match probe {
@@ -603,6 +728,75 @@ impl System {
             cycles: self.now_max,
             ops: cursor.ops,
             completed: cursor.finished(),
+        }
+    }
+
+    /// Retires `first_cycles` of compute plus every consecutive
+    /// [`Op::Compute`] at the front of `core`'s queue, as one scheduler
+    /// event but with per-op semantics: the SB is pumped at each op's
+    /// start cycle (so background drains hit the hierarchy at the same
+    /// instants as unfolded stepping), the stop condition is evaluated
+    /// after each op, and the yield check runs against the heap root after
+    /// each op — the fold ends exactly where the unfolded loop would have
+    /// left this core. Profile counts attribute one pipeline event per
+    /// folded op via [`SchedProfile::record_many`], keeping `sched.*`
+    /// stats identical to unfolded runs.
+    fn fold_computes(
+        &mut self,
+        core: usize,
+        first_cycles: u32,
+        cursor: &mut RunCursor,
+        stop: StopAt,
+    ) -> FoldOutcome {
+        let mut folded = 0u64;
+        let mut spent: Cycle = 0;
+        let mut cycles = first_cycles;
+        let outcome = loop {
+            let now = self.cores[core].ready_at;
+            self.pump_sb(core, now);
+            let end = now + Cycle::from(cycles);
+            self.cores[core].ready_at = end;
+            self.now_max = self.now_max.max(end);
+            spent += end - now;
+            folded += 1;
+            let stopped = match stop {
+                StopAt::Ops(budget) => cursor.ops + folded >= budget,
+                StopAt::Cycle(at) => self.now_max >= at,
+                StopAt::End => false,
+            };
+            if stopped {
+                break FoldOutcome::Stopped;
+            }
+            if let Some(next) = cursor.events.peek() {
+                if next < (self.cores[core].ready_at, core) {
+                    break FoldOutcome::Yielded;
+                }
+            }
+            match cursor.queues[core].front() {
+                Some(&Op::Compute { cycles: c }) => {
+                    cycles = c;
+                    cursor.queues[core].pop_front();
+                }
+                _ => break FoldOutcome::RanDry,
+            }
+        };
+        self.cores[core].committed.add(folded);
+        self.profile.record_many(EventKind::Pipeline, folded, spent);
+        cursor.ops += folded;
+        self.bump_audit(folded);
+        outcome
+    }
+
+    /// Advances the periodic debug-audit countdown by `n` committed ops.
+    fn bump_audit(&mut self, n: u64) {
+        self.audit_countdown = self
+            .audit_countdown
+            .saturating_add(u32::try_from(n).unwrap_or(u32::MAX));
+        if self.audit_countdown >= DEBUG_AUDIT_PERIOD {
+            self.audit_countdown = 0;
+            if cfg!(debug_assertions) {
+                self.check_invariants();
+            }
         }
     }
 
@@ -686,6 +880,8 @@ impl System {
                 self.cores[core].stores.inc();
                 if persistent {
                     self.cores[core].persisting_stores.inc();
+                    self.cores[core].persisting_store_bytes.add(size as u64);
+                    self.persist_lat.on_store_commit(core, block, t);
                 }
                 let kind = if t > now {
                     EventKind::StoreBuffer
@@ -707,6 +903,7 @@ impl System {
                     wrote_back: f.wrote_back,
                 });
                 self.cores[core].record_flush(f.persist);
+                self.persist_lat.on_clwb(core, block, f.persist);
                 let kind = if f.wrote_back {
                     EventKind::Wpq
                 } else if t > now {
@@ -729,6 +926,10 @@ impl System {
                         .drain_all_timed(t, &mut self.memories);
                 }
                 let done = self.cores[core].flushes_done_by(t);
+                // BEP point of persistence: by `t` the SB and the volatile
+                // procPB have both fully drained, so every persisting
+                // store this core committed before the barrier is durable.
+                self.persist_lat.on_fence(core, t);
                 self.cores[core]
                     .fence_stall_cycles
                     .add(done.saturating_sub(now));
@@ -755,13 +956,7 @@ impl System {
         // the coherence, inclusion, and holder-index invariants so every
         // debug test and crashfuzz sweep runs them for free. Release
         // builds keep only the counter arithmetic.
-        self.audit_countdown += 1;
-        if self.audit_countdown >= DEBUG_AUDIT_PERIOD {
-            self.audit_countdown = 0;
-            if cfg!(debug_assertions) {
-                self.check_invariants();
-            }
-        }
+        self.bump_audit(1);
     }
 
     /// Injects a power failure *now*: drains exactly the active persistence
@@ -1048,7 +1243,17 @@ impl System {
             self.residual_persist_blocks(),
         );
         self.profile.export(&mut s);
+        self.persist_lat.export(&mut s);
         s
+    }
+
+    /// The commit→point-of-persistence latency distribution of every
+    /// persisting store stepped on this machine (see `latency` module
+    /// docs for where each mode's PoP is observed). Mergeable: shard
+    /// histograms combine with [`bbb_sim::LatencyHistogram::merge`].
+    #[must_use]
+    pub fn persist_latency(&self) -> &bbb_sim::LatencyHistogram {
+        self.persist_lat.histogram()
     }
 
     /// Per-kind event counts and simulated-cycle attribution for every op
@@ -1203,6 +1408,11 @@ impl System {
                 }
                 PersistencyMode::Pmem | PersistencyMode::Eadr => {}
             }
+        }
+        if e.persistent {
+            // No-battery-SB machines: the drain *is* the store's arrival
+            // in the battery domain (no-op for every other persist point).
+            self.persist_lat.on_sb_drain(e.committed, done);
         }
         self.cores[core].sb_drain_busy_until = done;
         self.now_max = self.now_max.max(done);
@@ -1857,5 +2067,199 @@ mod tests {
         for i in 0..600u64 {
             assert_eq!(img.read_u64(a + i * 64), i, "store {i}");
         }
+    }
+
+    /// Two cores interleaving runs of compute ops with stores; batches mix
+    /// compute-run lengths so the fold exercises mid-run yields and stops.
+    struct ComputeHeavy {
+        left: [u32; 2],
+        base: u64,
+    }
+
+    impl Workload for ComputeHeavy {
+        fn name(&self) -> &str {
+            "compute-heavy"
+        }
+        fn next_batch(&mut self, core: usize, arch: &mut ByteStore) -> Option<Vec<Op>> {
+            if self.left[core] == 0 {
+                return None;
+            }
+            self.left[core] -= 1;
+            let i = u64::from(self.left[core]);
+            let mut ops = Vec::new();
+            // Uneven compute runs so cores' clocks cross mid-fold.
+            for k in 0..(1 + (i + core as u64) % 5) {
+                ops.push(Op::Compute {
+                    cycles: (7 + 13 * k + core as u64 * 3) as u32,
+                });
+            }
+            let slot = self.base + (core as u64 * 64 + (i % 8)) * 8;
+            let v = arch.read_u64(slot) + 1;
+            ops.push(Op::store_u64(slot, v));
+            ops.push(Op::Compute { cycles: 5 });
+            ops.push(Op::Compute { cycles: 9 });
+            Some(ops)
+        }
+    }
+
+    #[test]
+    fn compute_fold_matches_unfolded_reference() {
+        // The probed run path disables the batch-retire fold (it must
+        // sample between every op), so it is the per-op reference the
+        // folded path must match bit-for-bit: same cycles, same stats
+        // (including sched.* attribution), same crash image.
+        for mode in PersistencyMode::ALL {
+            let mut folded = sys(mode);
+            let mut reference = sys(mode);
+            let base = pbase(&folded) + 0x400;
+            let mk = || ComputeHeavy {
+                left: [40, 31],
+                base,
+            };
+            let s1 = folded.run(&mut mk(), u64::MAX);
+            let mut cursor = RunCursor::new(reference.cores.len());
+            let mut sink = Vec::new();
+            let s2 = reference.run_probed(&mut mk(), &mut cursor, &mut sink);
+            for c in 0..reference.cores.len() {
+                let t = reference.cores[c].ready_at;
+                reference.pump_sb(c, t);
+            }
+            assert_eq!(s1.ops, s2.ops, "{mode:?}");
+            assert_eq!(s1.cycles, reference.now_max, "{mode:?}");
+            assert_eq!(folded.stats(), reference.stats(), "{mode:?}");
+            let (ia, ib) = (folded.crash_image(true), reference.crash_image(true));
+            assert_eq!(ia.as_store(), ib.as_store(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn compute_fold_respects_op_budget_and_cycle_stop() {
+        let base_budget = 37u64;
+        for stop_kind in 0..2 {
+            let mut folded = sys(PersistencyMode::Eadr);
+            let mut reference = sys(PersistencyMode::Eadr);
+            let base = pbase(&folded) + 0x400;
+            let mk = || ComputeHeavy {
+                left: [40, 31],
+                base,
+            };
+            let stop = if stop_kind == 0 {
+                StopAt::Ops(base_budget)
+            } else {
+                StopAt::Cycle(500)
+            };
+            let mut c1 = RunCursor::new(folded.cores.len());
+            let s1 = folded.run_until(&mut mk(), &mut c1, stop);
+            // Per-op reference: budget-1 ops probed (fold off), then one
+            // run_until step — instead, just compare against a probed full
+            // walk truncated by the same stop via step-by-step increments.
+            let mut c2 = RunCursor::new(reference.cores.len());
+            let mut w = mk();
+            let mut s2 = reference.run_until(&mut w, &mut c2, StopAt::Ops(1));
+            loop {
+                let done = match stop {
+                    StopAt::Ops(b) => c2.ops() >= b,
+                    StopAt::Cycle(at) => reference.now_max >= at,
+                    StopAt::End => unreachable!(),
+                };
+                if done || c2.finished() {
+                    break;
+                }
+                let next = c2.ops() + 1;
+                s2 = reference.run_until(&mut w, &mut c2, StopAt::Ops(next));
+            }
+            assert_eq!(s1.ops, s2.ops, "stop {stop:?}");
+            assert_eq!(folded.now_max, reference.now_max, "stop {stop:?}");
+            assert_eq!(folded.stats(), reference.stats(), "stop {stop:?}");
+        }
+    }
+
+    /// A stream yielding the same committed sequence as `ComputeHeavy`.
+    struct ComputeHeavyStream {
+        inner: ComputeHeavy,
+        bufs: Vec<VecDeque<Op>>,
+    }
+
+    impl OpStream for ComputeHeavyStream {
+        fn name(&self) -> &str {
+            "compute-heavy-stream"
+        }
+        fn next_op(&mut self, core: usize, arch: &mut ByteStore) -> Option<Op> {
+            if self.bufs[core].is_empty() {
+                let batch = self.inner.next_batch(core, arch)?;
+                self.bufs[core].extend(batch);
+            }
+            self.bufs[core].pop_front()
+        }
+    }
+
+    #[test]
+    fn stream_run_matches_batch_run() {
+        for mode in [PersistencyMode::BbbMemorySide, PersistencyMode::Pmem] {
+            let mut batch_sys = sys(mode);
+            let mut stream_sys = sys(mode);
+            let base = pbase(&batch_sys) + 0x400;
+            let mut w = ComputeHeavy {
+                left: [25, 18],
+                base,
+            };
+            let mut s = ComputeHeavyStream {
+                inner: ComputeHeavy {
+                    left: [25, 18],
+                    base,
+                },
+                bufs: vec![VecDeque::new(); 2],
+            };
+            let r1 = batch_sys.run(&mut w, u64::MAX);
+            let r2 = stream_sys.run_stream(&mut s, u64::MAX);
+            assert_eq!(r1, r2, "{mode:?}");
+            assert_eq!(batch_sys.stats(), stream_sys.stats(), "{mode:?}");
+            let (ia, ib) = (batch_sys.crash_image(true), stream_sys.crash_image(true));
+            assert_eq!(ia.as_store(), ib.as_store(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn persist_latency_is_zero_under_battery_and_positive_under_pmem() {
+        // Battery-backed SB: PoP == commit, the whole distribution is 0.
+        for mode in [
+            PersistencyMode::Eadr,
+            PersistencyMode::BbbMemorySide,
+            PersistencyMode::BbbProcessorSide,
+        ] {
+            let mut s = sys(mode);
+            let a = pbase(&s);
+            let ops: Vec<Op> = (0..16u64).map(|i| Op::store_u64(a + i * 64, i)).collect();
+            s.run_single_core(0, ops).unwrap();
+            let st = s.stats();
+            assert_eq!(st.get("persist.latency.samples"), 16, "{mode:?}");
+            assert_eq!(st.get("persist.latency.p999"), 0, "{mode:?}");
+            assert_eq!(st.get("persist.latency.max"), 0, "{mode:?}");
+            assert_eq!(st.get("cores.persisting_store_bytes"), 16 * 8, "{mode:?}");
+        }
+        // ADR + flushes: the clwb resolves the store at WPQ acceptance,
+        // hundreds of cycles after commit.
+        let mut s = sys(PersistencyMode::Pmem);
+        let a = pbase(&s);
+        let mut ops = Vec::new();
+        for i in 0..8u64 {
+            ops.push(Op::store_u64(a + i * 64, i));
+            ops.push(Op::Clwb { addr: a + i * 64 });
+            ops.push(Op::Fence);
+        }
+        s.run_single_core(0, ops).unwrap();
+        let st = s.stats();
+        assert_eq!(st.get("persist.latency.samples"), 8);
+        assert!(st.get("persist.latency.p50") > 0);
+        assert_eq!(st.get("persist.latency.unresolved"), 0);
+        // BEP: the epoch barrier resolves everything the core committed.
+        let mut s = sys(PersistencyMode::Bep);
+        let a = pbase(&s);
+        let mut ops: Vec<Op> = (0..8u64).map(|i| Op::store_u64(a + i * 64, i)).collect();
+        ops.push(Op::Fence);
+        s.run_single_core(0, ops).unwrap();
+        let st = s.stats();
+        assert_eq!(st.get("persist.latency.samples"), 8);
+        assert_eq!(st.get("persist.latency.unresolved"), 0);
     }
 }

@@ -30,6 +30,9 @@ pub struct CoreState {
     pub stores: Counter,
     /// Persisting stores committed (target in the persistent heap).
     pub persisting_stores: Counter,
+    /// Logical bytes written by persisting stores — the numerator the
+    /// NVMM write-amplification report divides the 64 B media writes by.
+    pub persisting_store_bytes: Counter,
     /// Cycles lost waiting for a full store buffer.
     pub sb_full_stalls: Counter,
     /// Cycles lost in fences.
@@ -52,6 +55,7 @@ impl CoreState {
             committed: Counter::new(),
             stores: Counter::new(),
             persisting_stores: Counter::new(),
+            persisting_store_bytes: Counter::new(),
             sb_full_stalls: Counter::new(),
             fence_stall_cycles: Counter::new(),
             fences: Counter::new(),
@@ -98,6 +102,10 @@ impl CoreState {
         s.set("cores.committed", self.committed.get());
         s.set("cores.stores", self.stores.get());
         s.set("cores.persisting_stores", self.persisting_stores.get());
+        s.set(
+            "cores.persisting_store_bytes",
+            self.persisting_store_bytes.get(),
+        );
         s.set("cores.sb_full_stalls", self.sb_full_stalls.get());
         s.set("cores.fence_stall_cycles", self.fence_stall_cycles.get());
         s.set("cores.fences", self.fences.get());

@@ -1,0 +1,75 @@
+//! Sharded-vs-serial determinism for the server-scale streaming sweep.
+//!
+//! The KV/WAL benches farm their mode × mix grid out to the worker pool;
+//! these tests pin the contract that a sharded sweep is *bit-identical*
+//! to a serial one — same `RunResult`s (cycles, every stats counter,
+//! every persist-latency percentile) in the same order at any thread
+//! count.
+
+use bbb_core::PersistencyMode;
+use bbb_runner::{paper_config, ExperimentSpec, Runner, Scale};
+use bbb_workloads::WorkloadKind;
+
+fn server_specs() -> Vec<ExperimentSpec> {
+    let scale = Scale {
+        initial: 2000,
+        per_core_ops: 120,
+    };
+    let cfg = paper_config(scale);
+    let mut specs = Vec::new();
+    for kind in WorkloadKind::SERVER {
+        for mode in PersistencyMode::ALL {
+            specs.push(ExperimentSpec::new(kind, mode, &cfg, scale));
+        }
+    }
+    specs
+}
+
+#[test]
+fn sharded_kv_sweep_is_bit_identical_to_serial() {
+    let specs = server_specs();
+    let serial = Runner::with_threads(1).run(&specs);
+    let sharded = Runner::with_threads(4).run(&specs);
+    assert_eq!(serial, sharded, "thread count leaked into results");
+    // Sanity: every point actually ran and the persist-latency export is
+    // wired through the streaming path.
+    for (spec, r) in specs.iter().zip(&serial) {
+        assert!(r.summary.completed, "{}", spec.label);
+        assert!(r.summary.ops > 0, "{}", spec.label);
+        assert!(
+            r.stats.get("persist.latency.samples") > 0 || spec.workload == WorkloadKind::KvC,
+            "{}: no persist-latency samples",
+            spec.label
+        );
+    }
+}
+
+#[test]
+fn battery_backed_modes_observe_zero_persist_latency() {
+    let specs = server_specs();
+    let results = Runner::with_threads(4).run(&specs);
+    for (spec, r) in specs.iter().zip(&results) {
+        match spec.mode {
+            PersistencyMode::Eadr
+            | PersistencyMode::BbbMemorySide
+            | PersistencyMode::BbbProcessorSide => {
+                assert_eq!(
+                    r.stats.get("persist.latency.p999"),
+                    0,
+                    "{}: battery-backed SB must persist at commit",
+                    spec.label
+                );
+                assert_eq!(r.stats.get("persist.latency.max"), 0, "{}", spec.label);
+            }
+            PersistencyMode::Pmem | PersistencyMode::Bep => {
+                if spec.workload != WorkloadKind::KvC {
+                    assert!(
+                        r.stats.get("persist.latency.p50") > 0,
+                        "{}: flush/epoch persistence cannot be free",
+                        spec.label
+                    );
+                }
+            }
+        }
+    }
+}

@@ -36,6 +36,7 @@ pub mod sched;
 pub mod stats;
 pub mod table;
 pub mod trace;
+pub mod zipf;
 
 pub use addr::{Addr, AddressMap, BlockAddr, Region, BLOCK_BYTES, BLOCK_SHIFT};
 pub use clock::{Cycle, CLOCK_GHZ};
@@ -44,9 +45,10 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use port::MemoryPort;
 pub use rng::SplitMix64;
 pub use sched::{EventKind, EventQueue, SchedProfile};
-pub use stats::{Counter, Histogram, Stats};
+pub use stats::{Counter, Histogram, LatencyHistogram, Stats};
 pub use table::Table;
 pub use trace::{merge_logs, TraceEvent, TraceLog};
+pub use zipf::ZipfSampler;
 
 // Experiment points run off-thread in the experiment runner: the
 // configuration crosses into workers and the stats snapshot crosses back.

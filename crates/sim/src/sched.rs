@@ -98,6 +98,16 @@ impl SchedProfile {
         self.cycles[kind as usize] += cycles;
     }
 
+    /// Records `n` completion events of `kind` that together consumed
+    /// `cycles` of simulated time — the batch-retire fast path folds runs
+    /// of pure-compute ops into one scheduler event but must attribute
+    /// the same per-op counts as `n` separate [`SchedProfile::record`]
+    /// calls.
+    pub fn record_many(&mut self, kind: EventKind, n: u64, cycles: Cycle) {
+        self.counts[kind as usize] += n;
+        self.cycles[kind as usize] += cycles;
+    }
+
     /// Adds another profile's counts and cycles into this one (merging
     /// shard- or run-level attributions additively).
     pub fn absorb(&mut self, other: &SchedProfile) {

@@ -1,0 +1,245 @@
+//! O(1) Zipfian sampling via Walker/Vose alias tables.
+//!
+//! The server-scale workloads (YCSB-style KV, durable-log WAL) draw keys
+//! from a Zipf(s) distribution over millions of ranks. Inverse-CDF
+//! sampling is O(log n) per draw and the classic rejection samplers burn
+//! several PRNG words per draw; the alias method gives exactly one
+//! uniform index plus one fixed-point threshold compare — O(1) with a
+//! single [`SplitMix64`] state advance of two words per sample, which
+//! keeps the sharded==serial determinism contract easy to reason about.
+//!
+//! Floating point is confined to table construction (`powf` over the
+//! rank weights); the sampling path is pure integer arithmetic, so a
+//! built table is bit-deterministic under any draw interleaving.
+
+use crate::rng::SplitMix64;
+
+/// An O(1) sampler for the Zipf(s) distribution over ranks `0..n`.
+///
+/// Rank `k` is drawn with probability proportional to `(k+1)^-s`; rank 0
+/// is the hottest key. `s = 0` degenerates to the uniform distribution.
+///
+/// # Examples
+///
+/// ```
+/// use bbb_sim::{SplitMix64, ZipfSampler};
+/// let zipf = ZipfSampler::new(1_000_000, 0.99);
+/// let mut rng = SplitMix64::new(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Fixed-point (63-bit) acceptance threshold per slot: a uniform
+    /// 63-bit draw below `prob[i]` keeps slot `i`, otherwise the draw is
+    /// redirected to `alias[i]`.
+    prob: Vec<u64>,
+    alias: Vec<u32>,
+    s: f64,
+}
+
+/// Fixed-point scale for the acceptance thresholds (63 fraction bits so
+/// the threshold of a full slot, 1.0, still fits in a `u64`).
+const FP_ONE: u64 = 1u64 << 63;
+
+impl ZipfSampler {
+    /// Builds the alias table for `Zipf(s)` over `n` ranks.
+    ///
+    /// Construction is O(n) time and O(n) space (12 bytes per rank);
+    /// sampling afterwards is O(1) and allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, exceeds `u32::MAX`, or `s` is negative or
+    /// non-finite.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(n <= u64::from(u32::MAX), "zipf support exceeds u32 ranks");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite and >= 0"
+        );
+        let n_usize = usize::try_from(n).expect("n fits usize");
+        // Scaled weights p_k * n: Vose's algorithm splits them into slots
+        // of unit capacity, each holding at most two ranks.
+        let weights: Vec<f64> = (0..n_usize).map(|k| ((k + 1) as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.into_iter().map(|w| w * scale).collect();
+
+        let mut prob = vec![0u64; n_usize];
+        let mut alias = vec![0u32; n_usize];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (k, &w) in scaled.iter().enumerate() {
+            let k = k as u32;
+            if w < 1.0 {
+                small.push(k);
+            } else {
+                large.push(k);
+            }
+        }
+        while let (Some(&s_idx), Some(&l_idx)) = (small.last(), large.last()) {
+            small.pop();
+            let w = scaled[s_idx as usize];
+            prob[s_idx as usize] = to_fp(w);
+            alias[s_idx as usize] = l_idx;
+            let rem = scaled[l_idx as usize] + w - 1.0;
+            scaled[l_idx as usize] = rem;
+            if rem < 1.0 {
+                large.pop();
+                small.push(l_idx);
+            }
+        }
+        // Leftovers (numerically ~1.0) become full slots.
+        for &k in small.iter().chain(large.iter()) {
+            prob[k as usize] = FP_ONE;
+            alias[k as usize] = k;
+        }
+        Self { prob, alias, s }
+    }
+
+    /// Number of ranks in the support.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.prob.len() as u64
+    }
+
+    /// The skew exponent the table was built for.
+    #[must_use]
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one rank in `0..n` (two PRNG words, pure integer path).
+    #[must_use]
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let i = rng.next_below(self.n()) as usize;
+        let coin = rng.next_u64() >> 1; // uniform 63-bit
+        if coin < self.prob[i] {
+            i as u64
+        } else {
+            u64::from(self.alias[i])
+        }
+    }
+
+    /// Theoretical probability mass of rank `k` (for tests/reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside the support.
+    #[must_use]
+    pub fn theoretical_mass(&self, k: u64) -> f64 {
+        assert!(k < self.n(), "rank outside support");
+        let total: f64 = (0..self.n()).map(|j| ((j + 1) as f64).powf(-self.s)).sum();
+        ((k + 1) as f64).powf(-self.s) / total
+    }
+}
+
+fn to_fp(w: f64) -> u64 {
+    // w is in [0, 1]; round to the 63-bit fixed-point grid.
+    let fp = (w * FP_ONE as f64).round();
+    if fp >= FP_ONE as f64 {
+        FP_ONE
+    } else if fp <= 0.0 {
+        0
+    } else {
+        fp as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(zipf: &ZipfSampler, seed: u64, draws: u64) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        let mut counts = vec![0u64; zipf.n() as usize];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn fixed_seed_is_deterministic() {
+        let zipf = ZipfSampler::new(4096, 0.99);
+        let a = frequencies(&zipf, 0xBBB, 10_000);
+        let b = frequencies(&zipf, 0xBBB, 10_000);
+        assert_eq!(a, b);
+        // A rebuilt table samples identically: construction is a pure
+        // function of (n, s).
+        let rebuilt = ZipfSampler::new(4096, 0.99);
+        let c = frequencies(&rebuilt, 0xBBB, 10_000);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn rank_frequency_matches_theory() {
+        // Observed mass of the head ranks must track the analytic Zipf
+        // mass for both the YCSB default and a steeper skew.
+        for s in [0.99f64, 1.2] {
+            let n = 1000;
+            let draws = 400_000u64;
+            let zipf = ZipfSampler::new(n, s);
+            let counts = frequencies(&zipf, 0x5EED ^ s.to_bits(), draws);
+            for k in 0..8u64 {
+                let expected = zipf.theoretical_mass(k);
+                let observed = counts[k as usize] as f64 / draws as f64;
+                let rel = (observed - expected).abs() / expected;
+                assert!(
+                    rel < 0.05,
+                    "s={s} rank {k}: observed {observed:.5} vs expected {expected:.5} (rel {rel:.3})"
+                );
+            }
+            // Bulk check: top-10 cumulative mass within 2%.
+            let top10_obs: u64 = counts[..10].iter().sum();
+            let top10_exp: f64 = (0..10).map(|k| zipf.theoretical_mass(k)).sum();
+            let rel = (top10_obs as f64 / draws as f64 - top10_exp).abs() / top10_exp;
+            assert!(rel < 0.02, "s={s} top-10 mass off by {rel:.3}");
+        }
+    }
+
+    #[test]
+    fn steeper_skew_concentrates_more_mass() {
+        let n = 1000;
+        let mild = ZipfSampler::new(n, 0.99);
+        let steep = ZipfSampler::new(n, 1.2);
+        assert!(steep.theoretical_mass(0) > mild.theoretical_mass(0));
+        let mild_counts = frequencies(&mild, 1, 100_000);
+        let steep_counts = frequencies(&steep, 1, 100_000);
+        assert!(steep_counts[0] > mild_counts[0]);
+    }
+
+    #[test]
+    fn degenerate_s_zero_is_uniform() {
+        let n = 64u64;
+        let draws = 256_000u64;
+        let zipf = ZipfSampler::new(n, 0.0);
+        // Every slot must be full (probability exactly 1/n each).
+        let counts = frequencies(&zipf, 42, draws);
+        let expected = draws as f64 / n as f64;
+        for (k, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.08, "rank {k} count {c} vs uniform {expected}");
+        }
+        let mass = zipf.theoretical_mass(0);
+        assert!((mass - 1.0 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_rank_support() {
+        let zipf = ZipfSampler::new(1, 0.99);
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..16 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

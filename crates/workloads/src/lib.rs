@@ -31,27 +31,31 @@ pub mod btree;
 pub mod builder;
 pub mod ctree;
 pub mod hashmap;
+pub mod kv;
 pub mod linkedlist;
 pub mod locks;
 pub mod palloc;
 pub mod pstore_log;
 pub mod rtree;
 pub mod suite;
+pub mod wal;
 
 pub use arrays::{ArrayOpKind, ArrayWorkload, Sharing};
 pub use btree::BtreeWorkload;
 pub use builder::OpBuilder;
 pub use ctree::CtreeWorkload;
 pub use hashmap::HashmapWorkload;
+pub use kv::{check_kv_recovery, KvLayout, KvMix, KvSpec, KvWorkload};
 pub use linkedlist::LinkedList;
 pub use locks::InsertLock;
 pub use palloc::Palloc;
 pub use pstore_log::{check_pstore_recovery, PstoreLogWorkload, SimBacking};
 pub use rtree::RtreeWorkload;
 pub use suite::{
-    make_workload, verify_recovery, verify_recovery_report, RecoveryReport, WorkloadKind,
-    WorkloadParams,
+    make_stream, make_workload, verify_recovery, verify_recovery_report, RecoveryReport,
+    WorkloadKind, WorkloadParams,
 };
+pub use wal::{check_wal_recovery, WalLayout, WalSpec, WalWorkload};
 
 // The experiment runner executes workloads on worker threads; every
 // workload (and the boxed form `make_workload` returns) must stay `Send`.
@@ -67,4 +71,7 @@ const _: () = {
     assert_send::<RtreeWorkload>();
     assert_send::<suite::EpochWorkload<ArrayWorkload>>();
     assert_send::<Box<dyn bbb_core::Workload>>();
+    assert_send::<KvWorkload>();
+    assert_send::<WalWorkload>();
+    assert_send::<Box<dyn bbb_core::OpStream>>();
 };

@@ -4,7 +4,7 @@
 //! [`make_workload`] so that every experiment uses identical layouts,
 //! seeds, and scaling knobs.
 
-use bbb_core::Workload;
+use bbb_core::{OpStream, StreamWorkload, Workload};
 use bbb_cpu::Op;
 use bbb_mem::{ByteStore, NvmImage};
 use bbb_sim::{AddressMap, SimConfig};
@@ -13,9 +13,11 @@ use crate::arrays::{ArrayOpKind, ArrayWorkload, Sharing};
 use crate::btree::BtreeWorkload;
 use crate::ctree::CtreeWorkload;
 use crate::hashmap::HashmapWorkload;
+use crate::kv::{check_kv_recovery, KvLayout, KvMix, KvSpec, KvWorkload};
 use crate::palloc::Palloc;
 use crate::pstore_log::{check_pstore_recovery, PstoreLogWorkload, SIM_RING_CAPACITY};
 use crate::rtree::RtreeWorkload;
+use crate::wal::{check_wal_recovery, WalLayout, WalSpec, WalWorkload};
 
 /// Reserved root area at the start of the persistent heap (roots, bucket
 /// arrays): 2 MiB on paper-sized heaps, scaled down for small test heaps.
@@ -29,6 +31,101 @@ fn root_reserve(cfg: &SimConfig) -> u64 {
 fn pstore_ring_base(cfg: &SimConfig) -> u64 {
     let map = AddressMap::new(cfg);
     (map.persistent_base() + root_reserve(cfg)).next_multiple_of(64)
+}
+
+/// Keyspace partitions / log shards per core for the server workloads.
+const SERVER_TENANTS: usize = 4;
+
+/// YCSB's default Zipf exponent, used by every server workload.
+const SERVER_ZIPF_S: f64 = 0.99;
+
+/// KV slot-table geometry for `(cfg, params)` — construction and recovery
+/// must agree on it, exactly like `pstore_ring_base`.
+fn kv_geometry(cfg: &SimConfig, params: WorkloadParams) -> KvLayout {
+    let map = AddressMap::new(cfg);
+    let base = map.persistent_base() + root_reserve(cfg);
+    // Headroom for the worst case where every request inserts.
+    let max_inserts = params.per_core_ops * cfg.cores as u64;
+    let layout = KvLayout::new(base, params.initial, SERVER_TENANTS, max_inserts);
+    assert!(
+        layout.base + layout.bytes() <= map.persistent_base() + cfg.persistent_heap_bytes,
+        "KV slot table does not fit the persistent heap"
+    );
+    layout
+}
+
+/// WAL shard geometry for `(cfg, params)`. `params.initial` is the total
+/// record-slot budget across all shards, rounded per shard to a power of
+/// two ring.
+fn wal_geometry(cfg: &SimConfig, params: WorkloadParams) -> WalLayout {
+    let map = AddressMap::new(cfg);
+    let base = map.persistent_base() + root_reserve(cfg);
+    let shards = (cfg.cores * SERVER_TENANTS) as u64;
+    let ring = (params.initial / shards)
+        .next_power_of_two()
+        .clamp(32, 1 << 14);
+    let layout = WalLayout::new(base, cfg.cores, SERVER_TENANTS, ring);
+    assert!(
+        layout.base + layout.bytes() <= map.persistent_base() + cfg.persistent_heap_bytes,
+        "WAL shards do not fit the persistent heap"
+    );
+    layout
+}
+
+/// Builds a server-scale streaming workload, or `None` for the batch
+/// kinds. The streaming path (`System::run_stream`) pulls one op at a
+/// time: memory stays O(live keys), independent of the op budget.
+///
+/// `epochs` emits a persist barrier per request — the BEP discipline;
+/// batch kinds get the same via [`with_epoch_barriers`].
+///
+/// # Panics
+///
+/// Panics if the persistent heap is too small for `params.initial`.
+#[must_use]
+pub fn make_stream(
+    kind: WorkloadKind,
+    cfg: &SimConfig,
+    params: WorkloadParams,
+    epochs: bool,
+) -> Option<Box<dyn OpStream>> {
+    let mix = match kind {
+        WorkloadKind::KvA => KvMix::A,
+        WorkloadKind::KvB => KvMix::B,
+        WorkloadKind::KvC => KvMix::C,
+        WorkloadKind::Wal => {
+            let layout = wal_geometry(cfg, params);
+            return Some(Box::new(WalWorkload::new(
+                layout,
+                WalSpec {
+                    tenants: SERVER_TENANTS,
+                    ring_records: layout.ring_records,
+                    group: 8,
+                    per_core_appends: params.per_core_ops,
+                    zipf_s: SERVER_ZIPF_S,
+                    seed: params.seed,
+                    instrument: params.instrument,
+                    epochs,
+                },
+            )));
+        }
+        _ => return None,
+    };
+    let layout = kv_geometry(cfg, params);
+    Some(Box::new(KvWorkload::new(
+        layout,
+        KvSpec {
+            keys: params.initial,
+            tenants: SERVER_TENANTS,
+            zipf_s: SERVER_ZIPF_S,
+            mix,
+            per_core_requests: params.per_core_ops,
+            seed: params.seed,
+            instrument: params.instrument,
+            epochs,
+        },
+        cfg.cores,
+    )))
 }
 
 /// The workloads of the paper's Table IV.
@@ -57,6 +154,19 @@ pub enum WorkloadKind {
     /// like [`WorkloadKind::Btree`] — kept out of the default sweeps so
     /// committed artifacts stay stable).
     PstoreLog,
+    /// Server-scale Zipfian KV service, YCSB mix A — 50% read / 40%
+    /// update / 10% insert (extension; see [`crate::kv`]). Stream-native;
+    /// in [`WorkloadKind::SERVER`], not in the paper sweeps.
+    KvA,
+    /// Server-scale Zipfian KV service, YCSB mix B — 95% read / 4%
+    /// update / 1% insert (extension).
+    KvB,
+    /// Server-scale Zipfian KV service, YCSB mix C — read-only
+    /// (extension).
+    KvC,
+    /// Server-scale durable write-ahead log: Zipfian-sharded appends with
+    /// group commit and ring truncation (extension; see [`crate::wal`]).
+    Wal,
 }
 
 impl WorkloadKind {
@@ -84,6 +194,17 @@ impl WorkloadKind {
         WorkloadKind::Btree,
     ];
 
+    /// The server-scale streaming workloads (this repository's extension
+    /// beyond Table IV). Kept separate from [`WorkloadKind::ALL`] and
+    /// [`WorkloadKind::EXTENDED`] so the committed paper artifacts stay
+    /// stable; the `kv`/`wal` benches sweep exactly these.
+    pub const SERVER: [WorkloadKind; 4] = [
+        WorkloadKind::KvA,
+        WorkloadKind::KvB,
+        WorkloadKind::KvC,
+        WorkloadKind::Wal,
+    ];
+
     /// Display name matching the paper's tables.
     #[must_use]
     pub const fn name(self) -> &'static str {
@@ -97,6 +218,10 @@ impl WorkloadKind {
             WorkloadKind::SwapC => "swapC",
             WorkloadKind::Btree => "btree",
             WorkloadKind::PstoreLog => "pstore",
+            WorkloadKind::KvA => "kv-a",
+            WorkloadKind::KvB => "kv-b",
+            WorkloadKind::KvC => "kv-c",
+            WorkloadKind::Wal => "wal",
         }
     }
 
@@ -111,6 +236,10 @@ impl WorkloadKind {
             WorkloadKind::SwapNC | WorkloadKind::SwapC => "swap in 1 million-element array",
             WorkloadKind::Btree => "1 million-node btree insertion (extension)",
             WorkloadKind::PstoreLog => "bbb-pstore ring log append (extension)",
+            WorkloadKind::KvA => "zipfian KV, 50r/40u/10i mix (extension)",
+            WorkloadKind::KvB => "zipfian KV, 95r/4u/1i mix (extension)",
+            WorkloadKind::KvC => "zipfian KV, read-only (extension)",
+            WorkloadKind::Wal => "sharded WAL append + group commit (extension)",
         }
     }
 
@@ -129,6 +258,13 @@ impl WorkloadKind {
             // Not reported by the paper: a log append is almost entirely
             // persisting stores, like the array workloads.
             WorkloadKind::PstoreLog => 23.8,
+            // Not paper rows: derived from the mixes themselves (updates
+            // store two words, inserts three; reads store nothing), as
+            // reference points only.
+            WorkloadKind::KvA => 18.0,
+            WorkloadKind::KvB => 3.0,
+            WorkloadKind::KvC => 0.1,
+            WorkloadKind::Wal => 23.8,
         }
     }
 }
@@ -284,6 +420,12 @@ pub fn make_workload(
                 discipline,
             ))
         }
+        WorkloadKind::KvA | WorkloadKind::KvB | WorkloadKind::KvC | WorkloadKind::Wal => {
+            // Stream-native kinds ride the batch interface through the
+            // one-op adapter (identical committed op sequence).
+            let stream = make_stream(kind, cfg, params, false).expect("server kind");
+            Box::new(StreamWorkload(stream))
+        }
     }
 }
 
@@ -323,6 +465,10 @@ pub fn verify_recovery(
             crate::arrays::check_array_recovery(image, base + reserve, elements)
         }
         WorkloadKind::PstoreLog => check_pstore_recovery(image, pstore_ring_base(cfg), params.seed),
+        WorkloadKind::KvA | WorkloadKind::KvB | WorkloadKind::KvC => {
+            check_kv_recovery(image, &kv_geometry(cfg, params))
+        }
+        WorkloadKind::Wal => check_wal_recovery(image, &wal_geometry(cfg, params)),
     }
 }
 
@@ -464,6 +610,47 @@ mod tests {
             let n = verify_recovery(kind, &img, &cfg, params)
                 .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
             assert!(n > 0, "{}: nothing recovered", kind.name());
+        }
+    }
+
+    #[test]
+    fn server_kinds_construct_run_and_recover() {
+        for kind in WorkloadKind::SERVER {
+            let cfg = SimConfig::small_for_tests();
+            let params = WorkloadParams::smoke();
+            assert!(!kind.description().is_empty());
+            assert!(kind.paper_pstore_pct() > 0.0);
+
+            // Streaming path.
+            let mut stream = make_stream(kind, &cfg, params, false).expect("server kind");
+            assert_eq!(stream.name(), kind.name());
+            let mut sys = System::new(cfg.clone(), PersistencyMode::BbbMemorySide).unwrap();
+            sys.prepare_stream(stream.as_mut());
+            let summary = sys.run_stream(stream.as_mut(), u64::MAX);
+            assert!(summary.ops > 0, "{}: no ops ran", kind.name());
+            sys.drain_all_store_buffers();
+            let stream_stats = sys.stats();
+            let img = sys.crash_now();
+            let n = verify_recovery(kind, &img, &cfg, params)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert!(n > 0, "{}: nothing recovered", kind.name());
+
+            // Batch adapter path produces the identical machine history.
+            let mut w = make_workload(kind, &cfg, params);
+            assert_eq!(w.name(), kind.name());
+            let mut batch_sys = System::new(cfg, PersistencyMode::BbbMemorySide).unwrap();
+            batch_sys.prepare(w.as_mut());
+            batch_sys.run(w.as_mut(), u64::MAX);
+            batch_sys.drain_all_store_buffers();
+            assert_eq!(stream_stats, batch_sys.stats(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn batch_kinds_have_no_stream() {
+        for kind in WorkloadKind::EXTENDED {
+            let cfg = SimConfig::small_for_tests();
+            assert!(make_stream(kind, &cfg, WorkloadParams::smoke(), false).is_none());
         }
     }
 
