@@ -18,6 +18,7 @@ pub use bbb_runner::{
     NormSeries, Report, RunResult, Runner, Scale, PAPER_SEED,
 };
 
+pub mod explore;
 pub mod parity;
 pub mod registry;
 

@@ -198,6 +198,11 @@ pub fn policies() -> &'static [ArtifactPolicy] {
             scale: "smoke",
             regen: "cargo run --release -p bbb-check -- conform --json",
         },
+        ArtifactPolicy {
+            name: "explore",
+            scale: "smoke",
+            regen: "BBB_SCALE=smoke cargo run --release -p bbb-bench --bin explore -- --json",
+        },
     ];
     P
 }
@@ -461,12 +466,30 @@ pub fn bands() -> &'static [CellBand] {
         // silently lost) and every mode's sim-shows-forbidden disagreement
         // count is pinned to exactly zero — soundness, not a tolerance
         // question.
-        band("conform", 0, "pmem", "shapes", 381.0, 0.0, "smoke"),
+        // 448 = the smoke suite with cross-core write-conflict shapes
+        // included (they were excluded before the τ-order crash-drain fix).
+        band("conform", 0, "pmem", "shapes", 448.0, 0.0, "smoke"),
         band("conform", 0, "pmem", "violations", 0.0, 0.0, "smoke"),
         band("conform", 0, "eadr", "violations", 0.0, 0.0, "smoke"),
         band("conform", 0, "bbb-mem", "violations", 0.0, 0.0, "smoke"),
         band("conform", 0, "bbb-proc", "violations", 0.0, 0.0, "smoke"),
         band("conform", 0, "bep", "violations", 0.0, 0.0, "smoke"),
+        // ---- Design-space explorer: the swept-config count is pinned
+        // (grid enumeration is deterministic; a drop means configs were
+        // silently lost), as are the smoke frontier's size and the
+        // measured WAL-desaturation bbPB size — the sweep's headline
+        // answer (bbb-mem WAL back under 5% of eADR at 64 entries).
+        band("explore", 0, "configs", "value", 2304.0, 0.0, "smoke"),
+        band("explore", 0, "frontier", "value", 61.0, 0.0, "smoke"),
+        band(
+            "explore",
+            0,
+            "wal-desat-entries",
+            "value",
+            64.0,
+            0.0,
+            "smoke",
+        ),
     ];
     B
 }

@@ -62,7 +62,7 @@ pub use litmus::ScheduledOps;
 pub use memories::Memories;
 pub use mode::PersistencyMode;
 pub use persist::PersistState;
-pub use procside::ProcSidePb;
+pub use procside::{ProcSidePb, StoreEntry};
 pub use stream::{OpStream, StreamWorkload};
 pub use system::{EventProbe, RunCursor, RunSummary, StopAt, System, SystemError};
 pub use workload::Workload;

@@ -550,9 +550,9 @@ mod tests {
         let mut s = state(PersistencyMode::BbbProcessorSide);
         let mut n = nvmm();
         s.procpb_mut(0)
-            .push(0, b(1), 0, &1u64.to_le_bytes(), &mut n);
+            .push(0, b(1), 0, &1u64.to_le_bytes(), 0, 0, &mut n);
         s.procpb_mut(0)
-            .push(0, b(2), 0, &2u64.to_le_bytes(), &mut n);
+            .push(0, b(2), 0, &2u64.to_le_bytes(), 0, 1, &mut n);
         s.on_remote_invalidate(5, b(2), 0, 1, &mut n);
         // Both entries drained (FIFO through block 2).
         assert_eq!(n.endurance().total_writes(), 2);

@@ -33,6 +33,12 @@ pub struct StoreEntry {
     pub len: usize,
     /// Payload (`bytes[..len]`).
     pub bytes: [u8; 8],
+    /// Commit cycle of the originating store (of the *last* store after
+    /// coalescing) — the τ key cross-core crash drains merge by.
+    pub committed: Cycle,
+    /// Per-core commit sequence of the originating store (τ tiebreak
+    /// within one core and cycle).
+    pub seq: u64,
 }
 
 /// One core's processor-side persist buffer.
@@ -46,7 +52,7 @@ pub struct StoreEntry {
 ///
 /// let mut nvmm = NvmmController::new(MemTiming::default());
 /// let mut pb = ProcSidePb::new(&BbpbConfig::default());
-/// let out = pb.push(0, BlockAddr::from_index(1), 0, &7u64.to_le_bytes(), &mut nvmm);
+/// let out = pb.push(0, BlockAddr::from_index(1), 0, &7u64.to_le_bytes(), 0, 0, &mut nvmm);
 /// assert_eq!(out.done, 0);
 /// ```
 #[derive(Debug, Clone)]
@@ -107,15 +113,19 @@ impl ProcSidePb {
         self.entries.len() + self.in_flight.len()
     }
 
-    /// Offers a committed persisting store. Coalesces only into the
-    /// youngest entry (program-order-adjacent, same block); otherwise
-    /// allocates, stalling if full.
+    /// Offers a committed persisting store, tagged with its commit cycle
+    /// and per-core sequence (the τ key crash drains merge by). Coalesces
+    /// only into the youngest entry (program-order-adjacent, same block);
+    /// otherwise allocates, stalling if full.
+    #[allow(clippy::too_many_arguments)] // the τ tag rides with the store
     pub fn push(
         &mut self,
         now: Cycle,
         block: BlockAddr,
         offset: usize,
         bytes: &[u8],
+        committed: Cycle,
+        seq: u64,
         mem: &mut dyn MemoryPort,
     ) -> AllocOutcome {
         assert!(bytes.len() <= 8, "store payload exceeds 8 bytes");
@@ -124,6 +134,10 @@ impl ProcSidePb {
         if let Some(last) = self.entries.back_mut() {
             if last.block == block && last.offset == offset && last.len == bytes.len() {
                 last.bytes[..bytes.len()].copy_from_slice(bytes);
+                // The entry now carries the newer store's value, so it
+                // carries the newer store's commit tag too.
+                last.committed = committed;
+                last.seq = seq;
                 self.version += 1;
                 self.coalesces.inc();
                 self.maybe_drain(now, mem);
@@ -153,6 +167,8 @@ impl ProcSidePb {
             offset,
             len: bytes.len(),
             bytes: payload,
+            committed,
+            seq,
         });
         self.version += 1;
         self.allocations.inc();
@@ -188,6 +204,23 @@ impl ProcSidePb {
         }
         self.in_flight.clear();
         n
+    }
+
+    /// Commit tag `(committed, seq)` of the oldest buffered store — the
+    /// key the cross-core crash merge compares before picking which
+    /// buffer drains its front next.
+    #[must_use]
+    pub fn front_tau(&self) -> Option<(Cycle, u64)> {
+        self.entries.front().map(|e| (e.committed, e.seq))
+    }
+
+    /// Crash-drains the single oldest entry (same media write, trace
+    /// event, and counters as [`ProcSidePb::crash_drain`] gives it); the
+    /// caller interleaves these across cores in commit order and finishes
+    /// with `crash_drain` to clear the in-flight set. Returns false when
+    /// nothing is buffered.
+    pub fn crash_drain_oldest(&mut self, now: Cycle, mem: &mut dyn MemoryPort) -> bool {
+        self.drain_oldest(now, mem)
     }
 
     /// Drops every entry without writing anything (a *volatile* persist
@@ -324,9 +357,9 @@ mod tests {
     fn per_store_entries_do_not_coalesce_across_blocks() {
         let mut n = nvmm();
         let mut p = pb(8, 100);
-        p.push(0, b(1), 0, &[1u8; 8], &mut n);
-        p.push(0, b(2), 0, &[2u8; 8], &mut n);
-        p.push(0, b(1), 8, &[3u8; 8], &mut n);
+        p.push(0, b(1), 0, &[1u8; 8], 0, 0, &mut n);
+        p.push(0, b(2), 0, &[2u8; 8], 0, 0, &mut n);
+        p.push(0, b(1), 8, &[3u8; 8], 0, 0, &mut n);
         // Three separate entries: the third store is not adjacent to the
         // first even though it shares the block.
         assert_eq!(p.occupancy(0), 3);
@@ -337,8 +370,8 @@ mod tests {
     fn adjacent_same_slot_stores_coalesce() {
         let mut n = nvmm();
         let mut p = pb(8, 100);
-        p.push(0, b(1), 0, &[1u8; 8], &mut n);
-        let out = p.push(1, b(1), 0, &[9u8; 8], &mut n);
+        p.push(0, b(1), 0, &[1u8; 8], 0, 0, &mut n);
+        let out = p.push(1, b(1), 0, &[9u8; 8], 0, 0, &mut n);
         assert!(out.coalesced);
         assert_eq!(p.occupancy(1), 1);
     }
@@ -351,7 +384,7 @@ mod tests {
         // memory-side buffer would write this block once; processor-side
         // writes it five times.
         for i in 0..5u64 {
-            p.push(0, b(1), (i * 8) as usize, &i.to_le_bytes(), &mut n);
+            p.push(0, b(1), (i * 8) as usize, &i.to_le_bytes(), 0, 0, &mut n);
         }
         p.crash_drain(10, &mut n);
         assert_eq!(n.endurance().writes_to(b(1)), 5);
@@ -366,9 +399,9 @@ mod tests {
     fn fifo_drain_order() {
         let mut n = nvmm();
         let mut p = pb(8, 100);
-        p.push(0, b(1), 0, &1u64.to_le_bytes(), &mut n);
-        p.push(0, b(2), 0, &2u64.to_le_bytes(), &mut n);
-        p.push(0, b(1), 0, &3u64.to_le_bytes(), &mut n);
+        p.push(0, b(1), 0, &1u64.to_le_bytes(), 0, 0, &mut n);
+        p.push(0, b(2), 0, &2u64.to_le_bytes(), 0, 0, &mut n);
+        p.push(0, b(1), 0, &3u64.to_le_bytes(), 0, 0, &mut n);
         p.crash_drain(0, &mut n);
         // Last write to block 1 was value 3 (program order preserved).
         assert_eq!(n.crash_image().read_u64(b(1).base()), 3);
@@ -378,9 +411,9 @@ mod tests {
     fn drain_through_block_respects_order() {
         let mut n = nvmm();
         let mut p = pb(8, 100);
-        p.push(0, b(1), 0, &1u64.to_le_bytes(), &mut n);
-        p.push(0, b(2), 0, &2u64.to_le_bytes(), &mut n);
-        p.push(0, b(3), 0, &3u64.to_le_bytes(), &mut n);
+        p.push(0, b(1), 0, &1u64.to_le_bytes(), 0, 0, &mut n);
+        p.push(0, b(2), 0, &2u64.to_le_bytes(), 0, 0, &mut n);
+        p.push(0, b(3), 0, &3u64.to_le_bytes(), 0, 0, &mut n);
         let drained = p.drain_through_block(5, b(2), &mut n);
         assert_eq!(drained, 2, "entries for blocks 1 and 2 drained in order");
         assert_eq!(p.occupancy(5), 1);
@@ -391,11 +424,11 @@ mod tests {
     fn watermark_draining_kicks_in_at_capacity() {
         let mut n = nvmm();
         let mut p = pb(4, 75); // trigger at 4 occupied, stop at 3
-        p.push(0, b(1), 0, &[1u8; 8], &mut n);
-        p.push(0, b(2), 0, &[2u8; 8], &mut n);
-        p.push(0, b(3), 0, &[3u8; 8], &mut n);
+        p.push(0, b(1), 0, &[1u8; 8], 0, 0, &mut n);
+        p.push(0, b(2), 0, &[2u8; 8], 0, 0, &mut n);
+        p.push(0, b(3), 0, &[3u8; 8], 0, 0, &mut n);
         assert_eq!(p.stats().get("bbpb.drains"), 0, "below trigger");
-        p.push(0, b(4), 0, &[4u8; 8], &mut n);
+        p.push(0, b(4), 0, &[4u8; 8], 0, 0, &mut n);
         assert!(p.stats().get("bbpb.drains") >= 1);
     }
 
@@ -404,6 +437,6 @@ mod tests {
     fn oversized_store_panics() {
         let mut n = nvmm();
         let mut p = pb(4, 75);
-        p.push(0, b(1), 0, &[0u8; 9], &mut n);
+        p.push(0, b(1), 0, &[0u8; 9], 0, 0, &mut n);
     }
 }

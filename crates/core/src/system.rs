@@ -987,7 +987,29 @@ impl System {
                 self.crash_drain_store_buffers(now);
             }
             PersistencyMode::BbbProcessorSide => {
+                // Cross-core k-way merge by each buffer's front τ tag:
+                // per-core FCFS is preserved (fronts only), and same-line
+                // conflicts across cores resolve in coherence order rather
+                // than core index. The coherence hooks drain a core's
+                // entries for a block before another core can own the line,
+                // so cross-core procPB conflicts cannot arise in practice —
+                // this canonicalizes the order defensively.
+                loop {
+                    let next = (0..self.cores.len())
+                        .filter_map(|c| {
+                            self.persist
+                                .procpb(c)
+                                .front_tau()
+                                .map(|(committed, seq)| (committed, c, seq))
+                        })
+                        .min();
+                    let Some((_, c, _)) = next else { break };
+                    self.persist
+                        .procpb_mut(c)
+                        .crash_drain_oldest(now, self.memories.nvmm_mut());
+                }
                 for c in 0..self.cores.len() {
+                    // Buffers are empty; this clears in-flight drains.
                     self.persist
                         .procpb_mut(c)
                         .crash_drain(now, self.memories.nvmm_mut());
@@ -1073,10 +1095,22 @@ impl System {
                     self.overlay_store_buffers(&mut media);
                 }
                 PersistencyMode::BbbProcessorSide => {
-                    for c in 0..self.cores.len() {
-                        for e in self.persist.procpb(c).iter() {
-                            media.write(e.block.base() + e.offset as u64, &e.bytes[..e.len]);
-                        }
+                    // Same cross-core k-way front-τ merge as
+                    // [`System::crash_now`], over borrowed entry slices.
+                    let pbs: Vec<Vec<&crate::StoreEntry>> = (0..self.cores.len())
+                        .map(|c| self.persist.procpb(c).iter().collect())
+                        .collect();
+                    let mut heads = vec![0usize; pbs.len()];
+                    loop {
+                        let next = pbs
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(c, pb)| pb.get(heads[c]).map(|e| (e.committed, c, e.seq)))
+                            .min();
+                        let Some((_, c, _)) = next else { break };
+                        let e = pbs[c][heads[c]];
+                        heads[c] += 1;
+                        media.write(e.block.base() + e.offset as u64, &e.bytes[..e.len]);
                     }
                     self.overlay_store_buffers(&mut media);
                 }
@@ -1122,17 +1156,23 @@ impl System {
         }
     }
 
-    /// Overlays persistent store-buffer entries (oldest first, per core)
-    /// onto a media snapshot — the non-destructive mirror of
+    /// Overlays persistent store-buffer entries onto a media snapshot in
+    /// coherence order τ = (commit cycle, core index, per-core sequence) —
+    /// the non-destructive mirror of
     /// [`System::crash_drain_store_buffers`].
     fn overlay_store_buffers(&self, media: &mut ByteStore) {
         if !self.cfg.battery_backed_sb {
             return;
         }
-        for core in &self.cores {
+        let mut entries: Vec<(Cycle, usize, u64, &SbEntry)> = Vec::new();
+        for (c, core) in self.cores.iter().enumerate() {
             for e in core.sb.iter().filter(|e| e.persistent) {
-                media.write(e.block.base() + e.offset as u64, &e.bytes[..e.len]);
+                entries.push((e.committed, c, e.seq, e));
             }
+        }
+        entries.sort_unstable_by_key(|&(committed, core, seq, _)| (committed, core, seq));
+        for (_, _, _, e) in entries {
+            media.write(e.block.base() + e.offset as u64, &e.bytes[..e.len]);
         }
     }
 
@@ -1393,6 +1433,8 @@ impl System {
                         e.block,
                         e.offset,
                         &e.bytes[..e.len],
+                        e.committed,
+                        e.seq,
                         &mut self.memories,
                     );
                     self.trace.push(TraceEvent::PersistAlloc {
@@ -1419,24 +1461,35 @@ impl System {
         done
     }
 
-    /// Crash path: persistent SB entries drain (in program order, after the
-    /// persist buffers) when the SB is battery backed. Returns the bytes
-    /// actually moved to NVMM — each entry contributes its store length
-    /// (1–8 bytes), the same figure [`CrashCost::drain_bytes`] charges.
+    /// Crash path: persistent SB entries drain when the SB is battery
+    /// backed. Cross-core conflicts resolve by the entries' coherence
+    /// order τ = (commit cycle, core index, per-core sequence) — the same
+    /// key [`System::drain_all_store_buffers`] merges by — never by bare
+    /// core index (DESIGN.md §9.4, resolved ledger item 1). Returns the
+    /// bytes actually moved to NVMM — each entry contributes its store
+    /// length (1–8 bytes), the same figure [`CrashCost::drain_bytes`]
+    /// charges.
     fn crash_drain_store_buffers(&mut self, now: Cycle) -> u64 {
         if !self.cfg.battery_backed_sb {
             return 0;
         }
-        let mut bytes = 0u64;
-        for core in &mut self.cores {
+        // Each per-core SB is commit-ordered FIFO, so a flat sort by
+        // (committed, core, seq) is exactly the k-way τ merge.
+        let mut entries: Vec<(Cycle, usize, u64, SbEntry)> = Vec::new();
+        for (c, core) in self.cores.iter_mut().enumerate() {
             for e in core.sb.drain_all() {
                 if e.persistent {
-                    bytes += e.len as u64;
-                    self.memories
-                        .nvmm_mut()
-                        .rmw_block(now, e.block, e.offset, &e.bytes[..e.len]);
+                    entries.push((e.committed, c, e.seq, e));
                 }
             }
+        }
+        entries.sort_unstable_by_key(|&(committed, core, seq, _)| (committed, core, seq));
+        let mut bytes = 0u64;
+        for (_, _, _, e) in entries {
+            bytes += e.len as u64;
+            self.memories
+                .nvmm_mut()
+                .rmw_block(now, e.block, e.offset, &e.bytes[..e.len]);
         }
         bytes
     }
@@ -1913,6 +1966,36 @@ mod tests {
         // And the fork's image is frozen: the original's later store must
         // not bleed through the shared pages.
         assert_eq!(img.read_u64(a + 8), 0);
+    }
+
+    /// Cross-core same-line SB conflicts at a crash must resolve in
+    /// coherence order τ = (commit cycle, core, seq), not core index
+    /// (DESIGN.md §9.4, resolved ledger item 1): core 1 stores first,
+    /// core 0 stores the same word 1000 cycles later, and the later store
+    /// must win in the crash image even though core 0 drains "first" by
+    /// index.
+    #[test]
+    fn crash_drain_resolves_sb_conflicts_by_commit_order() {
+        for mode in [
+            PersistencyMode::Eadr,
+            PersistencyMode::BbbMemorySide,
+            PersistencyMode::BbbProcessorSide,
+        ] {
+            let mut s = sys(mode);
+            let a = pbase(&s);
+            s.step_op(1, &Op::store_u64(a, 0x0B01D)); // committed early
+            s.step_op(0, &Op::Compute { cycles: 1000 });
+            s.step_op(0, &Op::store_u64(a, 0xA11CE)); // committed late
+            let img = s.crash_image(true);
+            let mut fork = s.clone();
+            let destructive = fork.crash_now();
+            assert_eq!(img, destructive, "{mode}: overlay vs destructive");
+            assert_eq!(
+                img.read_u64(a),
+                0xA11CE,
+                "{mode}: the later-committed store must win the conflict"
+            );
+        }
     }
 
     /// The non-destructive `crash_image` must be byte-identical to forking

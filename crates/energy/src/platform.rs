@@ -64,6 +64,26 @@ impl Platform {
         }
     }
 
+    /// A server-class system scaled to `cores`: per-core L1/L2 capacities
+    /// match [`Platform::server`] (32 kB L1, 1 MB L2 per core), the L3
+    /// and channel count scale proportionally from the 32-core baseline
+    /// (minimum one channel). The design-space explorer prices batteries
+    /// for swept core counts with this.
+    #[must_use]
+    pub fn server_scaled(cores: usize) -> Self {
+        let base = Self::server();
+        let scale = cores as f64 / base.cores as f64;
+        Self {
+            name: "Server Class (scaled)",
+            cores,
+            l1_bytes: cores as u64 * 32 * KIB,
+            l2_bytes: cores as u64 * MIB,
+            l3_bytes: (base.l3_bytes as f64 * scale) as u64,
+            memory_channels: ((base.memory_channels as f64 * scale) as usize).max(1),
+            core_area_mm2: base.core_area_mm2,
+        }
+    }
+
     /// Total cache capacity (the eADR battery's responsibility).
     #[must_use]
     pub fn total_cache_bytes(&self) -> u64 {
@@ -102,6 +122,23 @@ mod tests {
         assert_eq!(s.memory_channels, 12);
         // Paper: total ~107 MB (104.5 MiB).
         assert_eq!(s.total_cache_bytes(), 104 * MIB + 512 * KIB);
+    }
+
+    #[test]
+    fn server_scaled_matches_server_at_32_cores() {
+        let s = Platform::server();
+        let x = Platform::server_scaled(32);
+        assert_eq!(x.cores, s.cores);
+        assert_eq!(x.l1_bytes, s.l1_bytes);
+        assert_eq!(x.l2_bytes, s.l2_bytes);
+        assert_eq!(x.l3_bytes, s.l3_bytes);
+        assert_eq!(x.memory_channels, s.memory_channels);
+        // Scaling is proportional and never drops below one channel.
+        let small = Platform::server_scaled(2);
+        assert_eq!(small.memory_channels, 1);
+        let big = Platform::server_scaled(64);
+        assert_eq!(big.l1_bytes, 2 * s.l1_bytes);
+        assert_eq!(big.memory_channels, 2 * s.memory_channels);
     }
 
     #[test]

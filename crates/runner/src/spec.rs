@@ -105,6 +105,21 @@ impl ExperimentSpec {
         self
     }
 
+    /// Overrides the simulated core count (exploration drivers sweep
+    /// 8–64).
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cfg.cores = cores;
+        self
+    }
+
+    /// Overrides the memory controller's write-pending-queue depth.
+    #[must_use]
+    pub fn with_wpq_entries(mut self, entries: usize) -> Self {
+        self.cfg.mem.wpq_entries = entries;
+        self
+    }
+
     /// Turns the persistent-writeback-suppression endurance optimization
     /// on or off.
     #[must_use]
@@ -212,11 +227,159 @@ mod tests {
             scale(),
         );
         assert!(!a.same_point(&a.clone().with_entries(a.cfg.bbpb.entries * 2)));
+        assert!(!a.same_point(&a.clone().with_cores(a.cfg.cores + 1)));
+        assert!(!a.same_point(&a.clone().with_wpq_entries(a.cfg.mem.wpq_entries * 2)));
         assert!(!a.same_point(&a.clone().with_drain_policy(DrainPolicy::Eager)));
         assert!(!a.same_point(&a.clone().with_writeback_suppression(false)));
         assert!(!a.same_point(&a.clone().with_epoch_barriers(true)));
         assert!(!a.same_point(&a.clone().with_op_budget(10)));
         assert!(a.same_point(&a.clone()));
+    }
+
+    #[test]
+    fn single_field_changes_never_alias_memo_entries() {
+        use bbb_sim::{BbpbConfig, CacheConfig, CoreConfig, MemTiming};
+
+        let cfg = SimConfig::small_for_tests();
+        let base = ExperimentSpec::new(
+            WorkloadKind::Hashmap,
+            PersistencyMode::BbbMemorySide,
+            &cfg,
+            scale(),
+        );
+
+        // Compile-time exhaustiveness guard: destructure every struct the
+        // memo key must cover, with no `..` rest pattern. A field added to
+        // any of them fails this binding, forcing the variant list below
+        // (and `same_point`) to be revisited.
+        {
+            let SimConfig {
+                cores: _,
+                core,
+                l1d,
+                l2: _,
+                mem,
+                bbpb,
+                dram_bytes: _,
+                nvmm_bytes: _,
+                persistent_heap_bytes: _,
+                noc_hop: _,
+                battery_backed_sb: _,
+                relaxed_sb_drain: _,
+                suppress_persistent_writebacks: _,
+            } = base.cfg.clone();
+            let CoreConfig {
+                issue_width: _,
+                retire_width: _,
+                rob_entries: _,
+                lsq_entries: _,
+                store_buffer_entries: _,
+            } = core;
+            let CacheConfig {
+                capacity_bytes: _,
+                ways: _,
+                latency: _,
+            } = l1d;
+            let MemTiming {
+                dram_access: _,
+                nvmm_read: _,
+                nvmm_write: _,
+                wpq_entries: _,
+                nvmm_channels: _,
+            } = mem;
+            let BbpbConfig {
+                entries: _,
+                drain_policy: _,
+                drain_latency: _,
+            } = bbpb;
+            let WorkloadParams {
+                initial: _,
+                per_core_ops: _,
+                seed: _,
+                instrument: _,
+            } = base.params;
+            let ExperimentSpec {
+                label: _,
+                workload: _,
+                mode: _,
+                cfg: _,
+                params: _,
+                epoch_barriers: _,
+                op_budget: _,
+            } = base.clone();
+        }
+
+        // One variant per public field (`label` excluded by design).
+        type FieldMut = (&'static str, fn(&mut ExperimentSpec));
+        let muts: Vec<FieldMut> = vec![
+            ("workload", |s| s.workload = WorkloadKind::Ctree),
+            ("mode", |s| s.mode = PersistencyMode::Eadr),
+            ("epoch_barriers", |s| s.epoch_barriers = true),
+            ("op_budget", |s| s.op_budget = 17),
+            ("params.initial", |s| s.params.initial += 1),
+            ("params.per_core_ops", |s| s.params.per_core_ops += 1),
+            ("params.seed", |s| s.params.seed += 1),
+            ("params.instrument", |s| s.params.instrument = true),
+            ("cfg.cores", |s| s.cfg.cores += 1),
+            ("cfg.core.issue_width", |s| s.cfg.core.issue_width += 1),
+            ("cfg.core.retire_width", |s| s.cfg.core.retire_width += 1),
+            ("cfg.core.rob_entries", |s| s.cfg.core.rob_entries += 1),
+            ("cfg.core.lsq_entries", |s| s.cfg.core.lsq_entries += 1),
+            ("cfg.core.store_buffer_entries", |s| {
+                s.cfg.core.store_buffer_entries += 1;
+            }),
+            ("cfg.l1d.capacity_bytes", |s| {
+                s.cfg.l1d.capacity_bytes *= 2;
+            }),
+            ("cfg.l1d.ways", |s| s.cfg.l1d.ways *= 2),
+            ("cfg.l1d.latency", |s| s.cfg.l1d.latency += 1),
+            ("cfg.l2.capacity_bytes", |s| s.cfg.l2.capacity_bytes *= 2),
+            ("cfg.l2.ways", |s| s.cfg.l2.ways *= 2),
+            ("cfg.l2.latency", |s| s.cfg.l2.latency += 1),
+            ("cfg.mem.dram_access", |s| s.cfg.mem.dram_access += 1),
+            ("cfg.mem.nvmm_read", |s| s.cfg.mem.nvmm_read += 1),
+            ("cfg.mem.nvmm_write", |s| s.cfg.mem.nvmm_write += 1),
+            ("cfg.mem.wpq_entries", |s| s.cfg.mem.wpq_entries *= 2),
+            ("cfg.mem.nvmm_channels", |s| s.cfg.mem.nvmm_channels *= 2),
+            ("cfg.bbpb.entries", |s| s.cfg.bbpb.entries *= 2),
+            ("cfg.bbpb.drain_policy", |s| {
+                s.cfg.bbpb.drain_policy = DrainPolicy::Eager;
+            }),
+            ("cfg.bbpb.drain_latency", |s| {
+                s.cfg.bbpb.drain_latency += 1;
+            }),
+            ("cfg.dram_bytes", |s| s.cfg.dram_bytes *= 2),
+            ("cfg.nvmm_bytes", |s| s.cfg.nvmm_bytes *= 2),
+            ("cfg.persistent_heap_bytes", |s| {
+                s.cfg.persistent_heap_bytes *= 2;
+            }),
+            ("cfg.noc_hop", |s| s.cfg.noc_hop += 1),
+            ("cfg.battery_backed_sb", |s| {
+                s.cfg.battery_backed_sb = !s.cfg.battery_backed_sb;
+            }),
+            ("cfg.relaxed_sb_drain", |s| {
+                s.cfg.relaxed_sb_drain = !s.cfg.relaxed_sb_drain;
+            }),
+            ("cfg.suppress_persistent_writebacks", |s| {
+                s.cfg.suppress_persistent_writebacks = !s.cfg.suppress_persistent_writebacks;
+            }),
+        ];
+
+        let mut specs = vec![base.clone()];
+        for (field, f) in muts {
+            let mut v = base.clone();
+            f(&mut v);
+            assert!(
+                !base.same_point(&v),
+                "a spec differing only in {field} would alias the base's memo entry"
+            );
+            specs.push(v);
+        }
+        // The runner's memo cache must see every variant as its own point…
+        assert_eq!(crate::unique_points(&specs), specs.len());
+        // …while true duplicates still share one.
+        specs.push(base.clone());
+        assert_eq!(crate::unique_points(&specs), specs.len() - 1);
     }
 
     #[test]

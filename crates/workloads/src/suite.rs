@@ -129,7 +129,10 @@ pub fn make_stream(
 }
 
 /// The workloads of the paper's Table IV.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Ordered by declaration so sweep drivers can sort grid points
+/// canonically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WorkloadKind {
     /// R-tree random insertions.
     Rtree,
